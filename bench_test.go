@@ -1,0 +1,235 @@
+package cosoft_test
+
+// One benchmark per reproduced table/figure (see DESIGN.md §4). The
+// benchmarks wrap the experiment harnesses in internal/experiments with
+// fixed parameters so `go test -bench=.` regenerates every row family; the
+// cmd/experiments binary prints the full sweeps.
+
+import (
+	"testing"
+	"time"
+
+	"cosoft"
+	"cosoft/internal/attr"
+	"cosoft/internal/client"
+	"cosoft/internal/experiments"
+	"cosoft/internal/server"
+	"cosoft/internal/widget"
+)
+
+// BenchmarkTable1Architectures runs the full capability probe suite of the
+// paper's comparison table (E1).
+func BenchmarkTable1Architectures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkArch measures the per-interaction response time of each
+// architecture under the mixed workload (E2 / Figures 1-3).
+func BenchmarkArch(b *testing.B) {
+	params := experiments.ArchParams{
+		Users:          []int{4},
+		Latencies:      []time.Duration{0},
+		EventsPerUser:  8,
+		SharedFraction: 0.25,
+	}
+	archs := []string{"multiplex", "ui-replicated", "cosoft"}
+	for _, arch := range archs {
+		b.Run(arch, func(b *testing.B) {
+			var perEvent time.Duration
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.ArchComparison(params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					if r.Architecture == arch {
+						perEvent = r.PerEvent
+					}
+				}
+			}
+			b.ReportMetric(float64(perEvent.Nanoseconds()), "ns/event")
+		})
+	}
+}
+
+// BenchmarkStateVsAction compares re-synchronization strategies after 100
+// missed actions (E3 / §3.1).
+func BenchmarkStateVsAction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.StateVsAction([]int{100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0]
+		b.ReportMetric(float64(r.ReplayTime.Nanoseconds()), "ns/replay")
+		b.ReportMetric(float64(r.StateCopyTime.Nanoseconds()), "ns/statecopy")
+	}
+}
+
+// BenchmarkFloorControl measures the floor-control cost per character at
+// fine and coarse event granularity (E4 / §3.2).
+func BenchmarkFloorControl(b *testing.B) {
+	for _, chars := range []int{1, 64} {
+		b.Run(map[int]string{1: "chars-1", 64: "chars-64"}[chars], func(b *testing.B) {
+			var perChar time.Duration
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.FloorControl(256, []int{chars})
+				if err != nil {
+					b.Fatal(err)
+				}
+				perChar = rows[0].PerChar
+			}
+			b.ReportMetric(float64(perChar.Nanoseconds()), "ns/char")
+		})
+	}
+}
+
+// BenchmarkSCompat measures the mapping search of §3.3 (E5).
+func BenchmarkSCompat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CompatMatching([]int{6}, []int{3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].NaiveVisits), "naive-visits")
+		b.ReportMetric(float64(rows[0].HeurVisits), "heur-visits")
+	}
+}
+
+// BenchmarkTORIQueryCoupling compares multiple evaluation against
+// evaluate-once-and-share (E6 / §4).
+func BenchmarkTORIQueryCoupling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TORIQueryCoupling([]int{10000}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].ReexecTime.Nanoseconds()), "ns/reexec")
+		b.ReportMetric(float64(rows[0].ShareTime.Nanoseconds()), "ns/share")
+	}
+}
+
+// BenchmarkIndirectCoupling compares direct and indirect coupling of a
+// 4096-point dependent display (E7 / §4).
+func BenchmarkIndirectCoupling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.IndirectCoupling([]int{4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].DirectBytes), "direct-bytes")
+		b.ReportMetric(float64(rows[0].IndirectBytes), "indirect-bytes")
+	}
+}
+
+// BenchmarkOrdering compares centralized locking against optimistic
+// timestamp ordering at 50% contention (E8 / §2.1).
+func BenchmarkOrdering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.OrderingComparison(3, 20, []float64{0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].CentralTime.Nanoseconds()), "ns/central")
+		b.ReportMetric(float64(rows[0].OptimisticTime.Nanoseconds()), "ns/optimistic")
+	}
+}
+
+// BenchmarkHistory walks an 8-deep undo/redo stack (E9 / §2.1).
+func BenchmarkHistory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.HistoryWalk([]int{8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rows[0].UndoCorrect || !rows[0].RedoCorrect {
+			b.Fatal("history walk incorrect")
+		}
+	}
+}
+
+// BenchmarkCoupledEvent measures the end-to-end cost of one synchronized
+// high-level event between two coupled instances (the model's primitive
+// operation).
+func BenchmarkCoupledEvent(b *testing.B) {
+	cl, err := experiments.NewCluster(2, `textfield field value=""`, 0,
+		server.Options{}, client.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.DeclareAll("/field"); err != nil {
+		b.Fatal(err)
+	}
+	if err := cl.CoupleStar("/field"); err != nil {
+		b.Fatal(err)
+	}
+	vals := []attr.Value{attr.String("benchmark payload")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := &widget.Event{Path: "/field", Name: widget.EventChanged, Args: vals}
+		if _, err := experiments.DispatchRetry(cl.Clients[0], ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalEvent measures an uncoupled event for contrast — the "many
+// operations can be performed locally" path of the replicated architecture.
+func BenchmarkLocalEvent(b *testing.B) {
+	reg := cosoft.NewRegistry()
+	cosoft.MustBuild(reg, "/", `textfield field value=""`)
+	vals := []cosoft.Value{cosoft.String("benchmark payload")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := &cosoft.Event{Path: "/field", Name: cosoft.EventChanged, Args: vals}
+		if err := reg.Dispatch(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLockingVariants is the ablation for DESIGN.md decision 2: the
+// paper's sequential lock-all-or-undo group locking vs. the deterministic
+// ordered variant, under contention from four users.
+func BenchmarkLockingVariants(b *testing.B) {
+	for _, ordered := range []bool{false, true} {
+		name := "paper-sequential"
+		if ordered {
+			name = "ordered"
+		}
+		b.Run(name, func(b *testing.B) {
+			cl, err := experiments.NewCluster(4, `textfield field value=""`, 0,
+				server.Options{OrderedLocking: ordered}, client.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			if err := cl.DeclareAll("/field"); err != nil {
+				b.Fatal(err)
+			}
+			if err := cl.CoupleStar("/field"); err != nil {
+				b.Fatal(err)
+			}
+			vals := []attr.Value{attr.String("x")}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := &widget.Event{Path: "/field", Name: widget.EventChanged, Args: vals}
+				if _, err := experiments.DispatchRetry(cl.Clients[i%4], ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(cl.Srv.Stats().LockFailures), "lock-denials")
+		})
+	}
+}

@@ -1,0 +1,231 @@
+// Command cosoft-demo plays the paper's classroom scenario (§4) end to end
+// over real TCP connections, printing a transcript: students work locally,
+// one raises a hand, the intelligent demon flags another, the teacher
+// inspects the inbox, couples with a student's environment, discusses the
+// solution publicly, and decouples again.
+//
+// Usage:
+//
+//	cosoft-demo [-students 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"cosoft/internal/classroom"
+	"cosoft/internal/client"
+	"cosoft/internal/server"
+	"cosoft/internal/widget"
+)
+
+func main() {
+	students := flag.Int("students", 3, "number of student environments")
+	flag.Parse()
+	if err := run(*students); err != nil {
+		fmt.Fprintf(os.Stderr, "cosoft-demo: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(nStudents int) error {
+	step := stepPrinter()
+
+	step("starting the coupling server")
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer lis.Close()
+	srv := server.New(server.Options{})
+	defer srv.Close()
+	go srv.Serve(lis) //nolint:errcheck
+	addr := lis.Addr().String()
+	fmt.Printf("    server on %s\n", addr)
+
+	step("the teacher's presentation environment joins from the electronic blackboard")
+	teacher := classroom.NewTeacher()
+	tconn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if err := teacher.Attach(tconn, "dr-hoppe", client.Options{RPCTimeout: 10 * time.Second}); err != nil {
+		return err
+	}
+	defer teacher.Detach()
+	fmt.Printf("    registered as %s\n", teacher.Client().ID())
+
+	step(fmt.Sprintf("%d student environments join from local workstations", nStudents))
+	studentsList := make([]*classroom.Student, nStudents)
+	for i := range studentsList {
+		s := classroom.NewStudent("plot the function 2x+1 and describe its slope")
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return err
+		}
+		if err := s.Attach(conn, fmt.Sprintf("student-%d", i+1), client.Options{RPCTimeout: 10 * time.Second}); err != nil {
+			return err
+		}
+		defer s.Detach()
+		studentsList[i] = s
+		fmt.Printf("    %s registered as %s\n", fmt.Sprintf("student-%d", i+1), s.Client().ID())
+	}
+
+	step("students work individually (no coupling, everything local)")
+	if err := studentsList[0].SetTerm("2*x+1"); err != nil {
+		return err
+	}
+	if err := studentsList[0].SetAnswer("the slope is 2"); err != nil {
+		return err
+	}
+	if nStudents > 1 {
+		if err := studentsList[1].SetTerm("x^2"); err != nil {
+			return err
+		}
+		if err := studentsList[1].SetAnswer("is the slope 2x?"); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("    server events so far: %d (individual work stays local)\n", srv.Stats().Events)
+
+	step("student-1 raises a hand; the demon flags student-2's uncertain answer")
+	if err := studentsList[0].RaiseHand("please check my solution"); err != nil {
+		return err
+	}
+	if err := waitFor(func() bool { return len(teacher.Inbox()) >= minInbox(nStudents) }); err != nil {
+		return fmt.Errorf("inbox: %w", err)
+	}
+	for _, m := range teacher.Inbox() {
+		kind := "request"
+		if m.Auto {
+			kind = "demon"
+		}
+		fmt.Printf("    [%s] from %s (%s): %s\n", kind, m.From, m.User, m.Text)
+	}
+
+	step("the teacher lists the classroom and inspects student-1's environment")
+	infos, err := teacher.Students()
+	if err != nil {
+		return err
+	}
+	for _, info := range infos {
+		fmt.Printf("    %s  user=%s  %d declared objects\n", info.ID, info.User, len(info.Objects))
+	}
+	snapshot, err := teacher.InspectStudent(studentsList[0].Client().ID())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    snapshot of %s:/desk —\n%s", studentsList[0].Client().ID(), indent(snapshot.String()))
+
+	step("the teacher couples the blackboard with student-1 (term and answer fields)")
+	target := studentsList[0].Client().ID()
+	if err := teacher.JoinSession(target, classroom.DefaultPairs()); err != nil {
+		return err
+	}
+	fmt.Println("    coupled via RemoteCouple along the declared correspondences")
+
+	step("the teacher writes a new term; the student's display regenerates locally")
+	if err := teacher.SetTerm("2*x^2 - 3*x + 1"); err != nil {
+		return err
+	}
+	if err := waitFor(func() bool {
+		w, err := studentsList[0].Registry().Lookup("/desk/term")
+		return err == nil && w.Attr(widget.AttrValue).AsString() == "2*x^2 - 3*x + 1"
+	}); err != nil {
+		return fmt.Errorf("term replication: %w", err)
+	}
+	w, err := studentsList[0].Registry().Lookup("/desk/display")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    student display regenerated: %d points (only the term crossed the network)\n",
+		len(w.Attr(widget.AttrStrokes).AsPointList()))
+
+	step("the student answers; the teacher's public notes update")
+	if err := studentsList[0].SetAnswer("parabola, slope 4x-3"); err != nil {
+		return err
+	}
+	if err := waitFor(func() bool {
+		w, err := teacher.Registry().Lookup("/board/notes")
+		return err == nil && w.Attr(widget.AttrValue).AsString() == "parabola, slope 4x-3"
+	}); err != nil {
+		return fmt.Errorf("notes replication: %w", err)
+	}
+	fmt.Println("    notes: parabola, slope 4x-3")
+
+	step("the session ends; the student keeps the discussed state")
+	if err := teacher.EndSession(target, classroom.DefaultPairs()); err != nil {
+		return err
+	}
+	if err := teacher.SetTerm("x^3"); err != nil {
+		return err
+	}
+	time.Sleep(50 * time.Millisecond)
+	wTerm, err := studentsList[0].Registry().Lookup("/desk/term")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    teacher moved on to x^3; decoupled student still shows %q\n",
+		wTerm.Attr(widget.AttrValue).AsString())
+
+	stats := srv.Stats()
+	fmt.Printf("\nserver totals: %d events broadcast, %d execs, %d lock denials, %d copies, %d live links\n",
+		stats.Events, stats.ExecsSent, stats.LockFailures, stats.Copies, stats.Links)
+	return nil
+}
+
+func minInbox(nStudents int) int {
+	if nStudents > 1 {
+		return 2 // the raised hand plus the demon's message
+	}
+	return 1
+}
+
+func stepPrinter() func(string) {
+	n := 0
+	return func(msg string) {
+		n++
+		fmt.Printf("\n%2d. %s\n", n, msg)
+	}
+}
+
+func waitFor(cond func() bool) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("timed out")
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "      " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			if cur != "" {
+				lines = append(lines, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}

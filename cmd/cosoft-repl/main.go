@@ -1,0 +1,81 @@
+// Command cosoft-repl is the interactive control interface: it connects one
+// application instance to a running cosoftd server and drives it from stdin
+// — building widgets, declaring them couplable, inspecting the classroom,
+// coupling, dispatching events, copying state, and walking the undo history.
+// Type `help` for the command list.
+//
+// Usage:
+//
+//	cosoft-repl -server localhost:7817 -app pad -user alice [-spec 'textfield note value=""']
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cosoft"
+	"cosoft/internal/client"
+	"cosoft/internal/repl"
+)
+
+func main() {
+	server := flag.String("server", "localhost:7817", "coupling server address")
+	app := flag.String("app", "repl", "application type for the registration record")
+	user := flag.String("user", os.Getenv("USER"), "user name for the registration record")
+	host := flag.String("host", hostname(), "host name for the registration record")
+	spec := flag.String("spec", "", "optional widget spec to build and declare on startup")
+	flag.Parse()
+
+	reg := cosoft.NewRegistry()
+	if *spec != "" {
+		if _, err := cosoft.Build(reg, "/", *spec); err != nil {
+			fmt.Fprintf(os.Stderr, "cosoft-repl: spec: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	cli, err := cosoft.Dial(*server, cosoft.ClientOptions{
+		AppType: *app, User: *user, Host: *host, Registry: reg,
+		RPCTimeout: 10 * time.Second,
+		OnStateApplied: func(path string, origin cosoft.InstanceID) {
+			fmt.Printf("<< state applied to %s by %s\n", path, origin)
+		},
+		OnRemoteEvent: func(e *cosoft.Event) {
+			fmt.Printf("<< remote %s\n", e)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cosoft-repl: %v\n", err)
+		os.Exit(1)
+	}
+	defer cli.Close()
+	if *spec != "" {
+		if err := declareTop(cli, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "cosoft-repl: declare: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("connected to %s as %s (type 'help')\n", *server, cli.ID())
+	if err := repl.New(cli, os.Stdout).Run(os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "cosoft-repl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// declareTop declares every top-level widget built from -spec.
+func declareTop(cli *client.Client, reg *cosoft.Registry) error {
+	for _, w := range reg.Root().Children() {
+		if err := cli.DeclareTree(w.Path()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hostname() string {
+	if h, err := os.Hostname(); err == nil {
+		return h
+	}
+	return "unknown"
+}

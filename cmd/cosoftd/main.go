@@ -1,0 +1,65 @@
+// Command cosoftd runs the central coupling server: the controller of the
+// COSOFT architecture that coordinates communication between application
+// instances, holding the access permissions, registration records,
+// historical UI states, and lock table.
+//
+// Usage:
+//
+//	cosoftd [-listen :7817] [-history 32] [-ordered-locking] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cosoft/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":7817", "TCP address to listen on")
+	history := flag.Int("history", 0, "per-object historical-state depth (0 = default)")
+	ordered := flag.Bool("ordered-locking", false, "use deterministic-order group locking instead of the paper's sequential algorithm")
+	verbose := flag.Bool("v", false, "log registrations and departures")
+	flag.Parse()
+
+	opts := server.Options{
+		HistoryDepth:   *history,
+		OrderedLocking: *ordered,
+	}
+	if *verbose {
+		logger := log.New(os.Stderr, "cosoftd: ", log.LstdFlags|log.Lmicroseconds)
+		opts.Logf = logger.Printf
+	}
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cosoftd: listen: %v\n", err)
+		os.Exit(1)
+	}
+	srv := server.New(opts)
+	fmt.Printf("cosoftd: coupling server listening on %s\n", lis.Addr())
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+
+	select {
+	case sig := <-done:
+		fmt.Printf("cosoftd: %v — shutting down\n", sig)
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosoftd: serve: %v\n", err)
+		}
+	}
+	lis.Close()
+	srv.Close()
+	stats := srv.Stats()
+	fmt.Printf("cosoftd: served %d events (%d lock denials), %d copies\n",
+		stats.Events, stats.LockFailures, stats.Copies)
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// TestRunnersQuick smoke-tests every experiment printer with reduced
+// parameters, so `go test ./cmd/...` verifies the binary's code paths.
+func TestRunnersQuick(t *testing.T) {
+	runners := map[string]func(bool) error{
+		"table1":        runTable1,
+		"arch":          runArch,
+		"statevsaction": runStateVsAction,
+		"floorlock":     runFloorLock,
+		"compat":        runCompat,
+		"tori":          runTORI,
+		"indirect":      runIndirect,
+		"ordering":      runOrdering,
+		"history":       runHistory,
+		"locking":       runLocking,
+	}
+	for name, fn := range runners {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			if err := fn(true); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,198 @@
+// Package cosoft is a Go reproduction of the flexible communication model of
+// Zhao & Hoppe, "Supporting Flexible Communication in Heterogeneous
+// Multi-User Environments" (ICDCS 1994) — the COSOFT system.
+//
+// The model relaxes strict WYSIWIS along a new dimension, application
+// dependency: arbitrary user-interface objects of heterogeneous applications
+// can be coupled dynamically. Coupled objects synchronize by broadcasting
+// high-level callback events through a central server and re-executing them
+// in every member environment (synchronization by action), after an initial
+// alignment by copying UI state (synchronization by state). Objects need not
+// be identical to couple — compatibility is defined per widget class through
+// correspondence relations, and complex objects match structurally
+// (s-compatibility).
+//
+// # Architecture
+//
+// A deployment consists of one Server (the central controller holding the
+// access permissions, registration records, historical UI states, and the
+// lock table) and any number of application instances. Each instance owns a
+// widget.Registry — a headless widget toolkit standing in for the paper's
+// Motif-based CENTER toolbox — and attaches a Client to it. The Client
+// intercepts toolkit events: events on uncoupled objects run locally exactly
+// as in the single-user application; events on coupled objects take the
+// floor-control path through the server.
+//
+// # Quick start
+//
+//	srv := cosoft.NewServer(cosoft.ServerOptions{})
+//	defer srv.Close()
+//	go srv.Serve(listener)
+//
+//	reg := cosoft.NewRegistry()
+//	cosoft.MustBuild(reg, "/", `textfield note value=""`)
+//	cli, err := cosoft.Dial("localhost:7817", cosoft.ClientOptions{
+//		AppType: "editor", User: "alice", Registry: reg,
+//	})
+//	// declare, couple, and type:
+//	cli.Declare("/note")
+//	cli.Couple("/note", cosoft.ObjectRef{Instance: "editor-2", Path: "/note"})
+//	reg.Dispatch(&cosoft.Event{Path: "/note", Name: cosoft.EventChanged,
+//		Args: []cosoft.Value{cosoft.String("hello")}})
+//
+// The packages under internal/ contain the full implementation: the widget
+// toolkit, the wire protocol, the coupling graph, the compatibility engine,
+// the server, the client runtime, the baseline architectures used by the
+// paper's comparison (multiplex, UI-replicated, timestamp-ordered), and the
+// two applications the paper reports on (TORI and the COSOFT classroom).
+package cosoft
+
+import (
+	"net"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/client"
+	"cosoft/internal/compat"
+	"cosoft/internal/couple"
+	"cosoft/internal/server"
+	"cosoft/internal/session"
+	"cosoft/internal/widget"
+)
+
+// Core protocol types.
+type (
+	// Server is the central coupling server (Figure 4's controller).
+	Server = server.Server
+	// ServerOptions configures a Server.
+	ServerOptions = server.Options
+	// ServerStats is a snapshot of server counters.
+	ServerStats = server.Stats
+	// Client attaches one application instance to the server.
+	Client = client.Client
+	// ClientOptions configures a Client.
+	ClientOptions = client.Options
+	// Semantics holds store/load hooks for application data attached to a
+	// UI object.
+	Semantics = client.Semantics
+	// CommandHandler receives application-defined commands (CoSendCommand).
+	CommandHandler = client.CommandHandler
+	// SyncDirection selects the initial state alignment when coupling
+	// complex objects.
+	SyncDirection = client.SyncDirection
+	// PartialReport describes a best-effort coupling of structurally
+	// different complex objects (CoupleTreePartial).
+	PartialReport = client.PartialReport
+	// Facilitator manages named dynamic sessions (moderated sub-groups).
+	Facilitator = session.Facilitator
+	// InstanceID identifies a registered application instance.
+	InstanceID = couple.InstanceID
+	// ObjectRef globally names a UI object as <instance, pathname>.
+	ObjectRef = couple.ObjectRef
+	// Link is one directed couple link.
+	Link = couple.Link
+)
+
+// Toolkit types.
+type (
+	// Registry is the widget tree of one application instance.
+	Registry = widget.Registry
+	// Widget is a primitive UI object.
+	Widget = widget.Widget
+	// Event is a high-level callback event — the unit of synchronization.
+	Event = widget.Event
+	// Class describes a widget class with its relevant attributes.
+	Class = widget.Class
+	// TreeState is the serializable state of a complex UI object.
+	TreeState = widget.TreeState
+	// Value is a typed attribute value.
+	Value = attr.Value
+	// Point is a 2D coordinate for canvas strokes.
+	Point = attr.Point
+	// AttrSet is a named collection of attribute values.
+	AttrSet = attr.Set
+	// Correspondences declares cross-class attribute mappings for
+	// heterogeneous coupling.
+	Correspondences = compat.Correspondences
+)
+
+// Initial synchronization directions for CoupleTree.
+const (
+	SyncNone = client.SyncNone
+	SyncPull = client.SyncPull
+	SyncPush = client.SyncPush
+)
+
+// Standard event names of the built-in widget classes.
+const (
+	EventActivate = widget.EventActivate
+	EventChanged  = widget.EventChanged
+	EventEdit     = widget.EventEdit
+	EventToggled  = widget.EventToggled
+	EventSelect   = widget.EventSelect
+	EventMoved    = widget.EventMoved
+	EventDraw     = widget.EventDraw
+)
+
+// Attribute value constructors.
+var (
+	Int        = attr.Int
+	Float      = attr.Float
+	Bool       = attr.Bool
+	String     = attr.String
+	Color      = attr.Color
+	StringList = attr.StringList
+	PointList  = attr.PointList
+)
+
+// Semantics helpers for typical applications (§5).
+var (
+	// JSONSemantics marshals an application structure as the semantic state
+	// of a UI object.
+	JSONSemantics = client.JSONSemantics
+	// KVSemantics attaches a string map as the semantic state.
+	KVSemantics = client.KVSemantics
+)
+
+// NewServer starts a coupling server. Close stops it.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// NewFacilitator returns a session facilitator driving moderated dynamic
+// grouping through the given client.
+func NewFacilitator(cli *Client) *Facilitator { return session.NewFacilitator(cli) }
+
+// NewRegistry returns a widget registry with the standard class set and a
+// root form at "/".
+func NewRegistry() *Registry { return widget.NewRegistry() }
+
+// NewCorrespondences returns an empty correspondence registry.
+func NewCorrespondences() *Correspondences { return compat.NewCorrespondences() }
+
+// Build constructs a widget subtree from a declarative spec (see
+// internal/widget's Build for the syntax).
+func Build(r *Registry, parentPath, spec string) (*Widget, error) {
+	return widget.Build(r, parentPath, spec)
+}
+
+// MustBuild is Build for static UI construction; it panics on error.
+func MustBuild(r *Registry, parentPath, spec string) *Widget {
+	return widget.MustBuild(r, parentPath, spec)
+}
+
+// Connect attaches an application instance over an established connection.
+func Connect(conn net.Conn, opts ClientOptions) (*Client, error) {
+	return client.New(conn, opts)
+}
+
+// Dial connects to a server over TCP and registers the instance.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := client.New(conn, opts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}

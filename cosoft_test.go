@@ -1,0 +1,72 @@
+package cosoft_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"cosoft"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as the README's
+// quickstart does: server over TCP, two clients, couple, type, replicate.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	srv := cosoft.NewServer(cosoft.ServerOptions{})
+	defer srv.Close()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go srv.Serve(lis) //nolint:errcheck
+
+	dial := func(user string) *cosoft.Client {
+		reg := cosoft.NewRegistry()
+		cosoft.MustBuild(reg, "/", `textfield note value=""`)
+		cli, err := cosoft.Dial(lis.Addr().String(), cosoft.ClientOptions{
+			AppType: "editor", User: user, Host: "local", Registry: reg,
+			RPCTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cli.Close)
+		if err := cli.Declare("/note"); err != nil {
+			t.Fatal(err)
+		}
+		return cli
+	}
+	alice := dial("alice")
+	bob := dial("bob")
+	if err := alice.Couple("/note", bob.Ref("/note")); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Registry().Dispatch(&cosoft.Event{
+		Path: "/note", Name: cosoft.EventChanged,
+		Args: []cosoft.Value{cosoft.String("hello")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		w, err := bob.Registry().Lookup("/note")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Attr("value").AsString() == "hello" {
+			stats := srv.Stats()
+			if stats.Events != 1 || stats.Links != 1 {
+				t.Errorf("stats = %+v", stats)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("replication timed out")
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := cosoft.Dial("127.0.0.1:1", cosoft.ClientOptions{Registry: cosoft.NewRegistry()}); err == nil {
+		t.Fatal("dial to closed port must fail")
+	}
+}

@@ -1,0 +1,105 @@
+// Classroom: the COSOFT scenario (§4) as a library example — a teacher on
+// the electronic blackboard, students on workstations, request/demon
+// messages, remote coupling, and indirect coupling of the function display.
+// For the fuller guided transcript see cmd/cosoft-demo.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"cosoft"
+	"cosoft/internal/classroom"
+	"cosoft/internal/client"
+	"cosoft/internal/widget"
+)
+
+func main() {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lis.Close()
+	srv := cosoft.NewServer(cosoft.ServerOptions{})
+	defer srv.Close()
+	go srv.Serve(lis) //nolint:errcheck
+
+	dial := func() net.Conn {
+		conn, err := net.Dial("tcp", lis.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return conn
+	}
+
+	teacher := classroom.NewTeacher()
+	if err := teacher.Attach(dial(), "teacher", client.Options{RPCTimeout: 5 * time.Second}); err != nil {
+		log.Fatal(err)
+	}
+	defer teacher.Detach()
+
+	student := classroom.NewStudent("sketch the parabola x^2 and mark its vertex")
+	if err := student.Attach(dial(), "mia", client.Options{RPCTimeout: 5 * time.Second}); err != nil {
+		log.Fatal(err)
+	}
+	defer student.Detach()
+
+	// The student struggles; the demon notices the question mark and the
+	// student raises a hand too.
+	must(student.SetAnswer("vertex at 0? not sure"))
+	must(student.RaiseHand("could you show the graph on the board?"))
+	waitFor(func() bool { return len(teacher.Inbox()) >= 2 })
+	fmt.Println("teacher's inbox:")
+	for _, m := range teacher.Inbox() {
+		tag := "request"
+		if m.Auto {
+			tag = "demon "
+		}
+		fmt.Printf("  [%s] %s: %s\n", tag, m.From, m.Text)
+	}
+
+	// The teacher couples with the student and demonstrates on the board.
+	must(teacher.JoinSession(student.Client().ID(), classroom.DefaultPairs()))
+	must(teacher.SetTerm("x^2"))
+	waitFor(func() bool {
+		w, err := student.Registry().Lookup("/desk/term")
+		return err == nil && w.Attr(widget.AttrValue).AsString() == "x^2"
+	})
+	disp, err := student.Registry().Lookup("/desk/display")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nteacher wrote x^2 on the board; the student's display regenerated locally (%d points)\n",
+		len(disp.Attr(widget.AttrStrokes).AsPointList()))
+
+	// The student completes the answer publicly (it mirrors to the board's
+	// notes field).
+	must(student.SetAnswer("vertex at (0,0), opens upward"))
+	waitFor(func() bool {
+		w, err := teacher.Registry().Lookup("/board/notes")
+		return err == nil && w.Attr(widget.AttrValue).AsString() == "vertex at (0,0), opens upward"
+	})
+	fmt.Println("the corrected answer appears in the board's notes for the whole class")
+
+	must(teacher.EndSession(student.Client().ID(), classroom.DefaultPairs()))
+	fmt.Println("session ended; both environments keep the discussed state")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	log.Fatal("timed out")
+}

@@ -1,0 +1,131 @@
+// Moderated: dynamic sub-groups managed by a facilitator — the "guided
+// group meeting" of the paper's introduction. A moderator splits six
+// participants into two working groups at runtime, moves one participant
+// between groups mid-session, and finally dissolves both groups.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"cosoft"
+)
+
+func main() {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lis.Close()
+	srv := cosoft.NewServer(cosoft.ServerOptions{})
+	defer srv.Close()
+	go srv.Serve(lis) //nolint:errcheck
+
+	mk := func(user string) *cosoft.Client {
+		reg := cosoft.NewRegistry()
+		cosoft.MustBuild(reg, "/", `textarea pad text=""`)
+		cli, err := cosoft.Dial(lis.Addr().String(), cosoft.ClientOptions{
+			AppType: "pad", User: user, Host: "local", Registry: reg,
+			RPCTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cli.Declare("/pad"); err != nil {
+			log.Fatal(err)
+		}
+		return cli
+	}
+
+	users := []string{"ana", "ben", "cho", "dee", "eli", "fay"}
+	clients := make(map[string]*cosoft.Client, len(users))
+	for _, u := range users {
+		clients[u] = mk(u)
+		defer clients[u].Close()
+	}
+	moderator := mk("moderator")
+	defer moderator.Close()
+
+	fac := cosoft.NewFacilitator(moderator)
+	must(fac.Create("group-1"))
+	must(fac.Create("group-2"))
+	for _, u := range []string{"ana", "ben", "cho"} {
+		must(fac.Add("group-1", clients[u].Ref("/pad")))
+	}
+	for _, u := range []string{"dee", "eli", "fay"} {
+		must(fac.Add("group-2", clients[u].Ref("/pad")))
+	}
+	fmt.Printf("sessions: %v\n", fac.Sessions())
+
+	typeAt := func(user, text string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			err := clients[user].DispatchChecked(&cosoft.Event{
+				Path: "/pad", Name: cosoft.EventEdit,
+				Args: []cosoft.Value{cosoft.Int(0), cosoft.Int(0), cosoft.String(text)},
+			})
+			if err == nil {
+				return
+			}
+			if time.Now().After(deadline) {
+				log.Fatal(err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	padOf := func(user string) string {
+		w, err := clients[user].Registry().Lookup("/pad")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return w.Attr("text").AsString()
+	}
+	waitPad := func(user, want string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if padOf(user) == want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		log.Fatalf("%s pad = %q, want %q", user, padOf(user), want)
+	}
+
+	// Each group works independently.
+	typeAt("ana", "G1: brainstorm\n")
+	typeAt("dee", "G2: outline\n")
+	waitPad("cho", "G1: brainstorm\n")
+	waitPad("fay", "G2: outline\n")
+	fmt.Printf("group-1 pads say %q; group-2 pads say %q\n", padOf("ben"), padOf("eli"))
+
+	// The moderator moves cho into group 2 mid-session; cho's pad is first
+	// aligned with the new group's state.
+	must(fac.Remove("group-1", clients["cho"].Ref("/pad")))
+	must(fac.AddWithSync("group-2", clients["cho"].Ref("/pad")))
+	waitPad("cho", "G2: outline\n")
+	fmt.Println("cho moved to group-2 and caught up with its state")
+
+	typeAt("cho", "cho: joining in\n")
+	waitPad("dee", "cho: joining in\nG2: outline\n")
+	if padOf("ana") != "G1: brainstorm\n" {
+		log.Fatalf("group-1 leaked: %q", padOf("ana"))
+	}
+	fmt.Println("cho's edits reach group-2 only; group-1 is unaffected")
+
+	must(fac.Dissolve("group-1"))
+	must(fac.Dissolve("group-2"))
+	typeAt("dee", "solo again\n")
+	time.Sleep(50 * time.Millisecond)
+	if padOf("eli") == padOf("dee") {
+		log.Fatal("dissolved group still synchronizes")
+	}
+	fmt.Println("groups dissolved; everyone keeps their pad and works alone")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Quickstart: two single-user editor instances become multi-user by
+// attaching clients to the coupling server and coupling one text field.
+// Everything runs in one process over TCP so the example is self-contained.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"cosoft"
+)
+
+func main() {
+	// 1. Start the central coupling server.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lis.Close()
+	srv := cosoft.NewServer(cosoft.ServerOptions{})
+	defer srv.Close()
+	go srv.Serve(lis) //nolint:errcheck
+
+	// 2. Build two ordinary single-user applications: a widget tree each.
+	newEditor := func(user string) *cosoft.Client {
+		reg := cosoft.NewRegistry()
+		cosoft.MustBuild(reg, "/", `form editor title="Notes"
+  textfield note value=""
+  label status label="ready"`)
+		// 3. The one statement that makes the application cooperative.
+		cli, err := cosoft.Dial(lis.Addr().String(), cosoft.ClientOptions{
+			AppType: "editor", User: user, Host: "local", Registry: reg,
+			RPCTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cli.DeclareTree("/editor"); err != nil {
+			log.Fatal(err)
+		}
+		return cli
+	}
+	alice := newEditor("alice")
+	defer alice.Close()
+	bob := newEditor("bob")
+	defer bob.Close()
+
+	// 4. Couple the two note fields (partial coupling: the status labels
+	//    stay private).
+	if err := alice.Couple("/editor/note", bob.Ref("/editor/note")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coupled %s with %s\n", alice.Ref("/editor/note"), bob.Ref("/editor/note"))
+
+	// 5. Alice types; the high-level 'changed' event re-executes at Bob's.
+	if err := alice.Registry().Dispatch(&cosoft.Event{
+		Path: "/editor/note", Name: cosoft.EventChanged,
+		Args: []cosoft.Value{cosoft.String("shared meeting notes")},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	waitFor(func() bool { return lookup(bob, "/editor/note", "value") == "shared meeting notes" })
+	fmt.Printf("bob sees:   %q\n", lookup(bob, "/editor/note", "value"))
+
+	// 6. Decoupling keeps both objects alive with their last state.
+	if err := alice.Decouple("/editor/note", bob.Ref("/editor/note")); err != nil {
+		log.Fatal(err)
+	}
+	if err := alice.Registry().Dispatch(&cosoft.Event{
+		Path: "/editor/note", Name: cosoft.EventChanged,
+		Args: []cosoft.Value{cosoft.String("alice's private edits")},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	fmt.Printf("after decoupling — alice: %q, bob: %q\n",
+		lookup(alice, "/editor/note", "value"), lookup(bob, "/editor/note", "value"))
+
+	// 7. Periodic re-synchronization by state: bob pulls alice's current
+	//    state once, without re-coupling.
+	if err := bob.CopyFrom(alice.Ref("/editor/note"), "/editor/note", false); err != nil {
+		log.Fatal(err)
+	}
+	waitFor(func() bool { return lookup(bob, "/editor/note", "value") == "alice's private edits" })
+	fmt.Printf("after CopyFrom — bob: %q\n", lookup(bob, "/editor/note", "value"))
+
+	stats := srv.Stats()
+	fmt.Printf("server: %d events, %d copies\n", stats.Events, stats.Copies)
+}
+
+func lookup(c *cosoft.Client, path, attrName string) string {
+	w, err := c.Registry().Lookup(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return w.Attr(attrName).AsString()
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	log.Fatal("timed out waiting for replication")
+}

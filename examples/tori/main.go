@@ -1,0 +1,143 @@
+// Cooperative TORI: the paper's second application (§4). Two researchers run
+// TORI retrieval interfaces against their *own* databases; their query forms
+// are coupled so both see the same query, but each invocation re-executes
+// against each participant's database — "queries can be sent to different
+// databases".
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"cosoft"
+	"cosoft/internal/client"
+	"cosoft/internal/db"
+	"cosoft/internal/tori"
+)
+
+func main() {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lis.Close()
+	srv := cosoft.NewServer(cosoft.ServerOptions{})
+	defer srv.Close()
+	go srv.Serve(lis) //nolint:errcheck
+
+	// Two TORI instances with different bibliographies (different seeds).
+	newTORI := func(user string, seed int64) (*tori.App, *client.Client) {
+		database, err := tori.Bibliography(2000, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		app, err := tori.New(database, tori.BibliographyDesc())
+		if err != nil {
+			log.Fatal(err)
+		}
+		conn, err := net.Dial("tcp", lis.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cli, err := client.New(conn, client.Options{
+			AppType: "tori", User: user, Host: "local", Registry: app.Registry(),
+			RPCTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cli.DeclareTree(tori.QueryPath); err != nil {
+			log.Fatal(err)
+		}
+		return app, cli
+	}
+	appA, cliA := newTORI("researcher-a", 1)
+	defer cliA.Close()
+	appB, cliB := newTORI("researcher-b", 2)
+	defer cliB.Close()
+
+	// Couple the query forms as complex objects: the s-compatibility
+	// mapping pairs every component, and the initial push aligns states.
+	links, err := cliA.CoupleTree(tori.QueryPath, cliB.Ref(tori.QueryPath), client.SyncPush)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coupled query forms with %d component links\n", links)
+
+	// Researcher A fills the query; the form replicates to B.
+	must(appA.SetField("author", "lamport"))
+	must(appA.SetOp("author", db.OpEq))
+	waitFor(func() bool { return appB.Field("author") == "lamport" })
+	fmt.Printf("B's form mirrors the query: author = %q\n", appB.Field("author"))
+
+	// A invokes the query: the 'activate' event re-executes at B, so BOTH
+	// databases are searched — multiple evaluation.
+	must(appA.Submit())
+	waitFor(func() bool { return appB.QueriesRun() == 1 })
+	fmt.Printf("A found %d rows in its database; B found %d rows in its own\n",
+		len(appA.ResultRows()), len(appB.ResultRows()))
+	if len(appA.ResultRows()) > 0 {
+		fmt.Printf("A's first hit: %s\n", appA.ResultRows()[0])
+	}
+	if len(appB.ResultRows()) > 0 {
+		fmt.Printf("B's first hit: %s\n", appB.ResultRows()[0])
+	}
+
+	// B refines the query; the refinement replicates and the re-invocation
+	// evaluates in both environments again. Coupled actions can be denied
+	// while the previous event still holds the floor, so the helper retries.
+	retry(func() error { return appB.SetField("journal", "CSCW") },
+		func() bool { return appA.Field("journal") == "CSCW" })
+	retry(func() error { return appB.Submit() },
+		func() bool { return appA.QueriesRun() == 2 && appB.QueriesRun() == 2 })
+	fmt.Printf("after B's refinement: A %d rows, B %d rows (each against its own data)\n",
+		len(appA.ResultRows()), len(appB.ResultRows()))
+
+	// Result interaction: B picks a hit and instantiates a new query.
+	if rows := appB.ResultRows(); len(rows) > 0 {
+		must(appB.SelectResult(rows[0]))
+		must(appB.NewQueryFromSelection())
+		fmt.Printf("B instantiated a new query from its selection: author=%q title=%q\n",
+			appB.Field("author"), appB.Field("title"))
+	}
+
+	fmt.Printf("evaluations — A: %d, B: %d (every coupled Submit ran in both environments)\n",
+		appA.QueriesRun(), appB.QueriesRun())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// retry performs a coupled action until its observable effect holds,
+// re-dispatching when floor control denied the action.
+func retry(action func() error, effect func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := action(); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if effect() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	log.Fatal("timed out retrying coupled action")
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	log.Fatal("timed out waiting for replication")
+}

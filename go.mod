@@ -1,0 +1,3 @@
+module cosoft
+
+go 1.22

@@ -1,0 +1,215 @@
+package attr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allSampleValues() []Value {
+	return []Value{
+		{},
+		Int(0), Int(1), Int(-1), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(-2.5), Float(math.Inf(1)), Float(math.NaN()),
+		Bool(true), Bool(false),
+		String(""), String("hello"), String("日本語"),
+		Color("#00ff00"),
+		StringList(), StringList("a"), StringList("a", "", "c"),
+		PointList(), PointList(Point{0, 0}), PointList(Point{-5, 7}, Point{math.MaxInt32, math.MinInt32}),
+	}
+}
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	for _, v := range allSampleValues() {
+		buf := AppendValue(nil, v)
+		got, rest, err := DecodeValue(buf)
+		if err != nil {
+			t.Errorf("decode %v: %v", v, err)
+			continue
+		}
+		if len(rest) != 0 {
+			t.Errorf("decode %v: %d leftover bytes", v, len(rest))
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestValueCodecConcatenated(t *testing.T) {
+	vals := allSampleValues()
+	var buf []byte
+	for _, v := range vals {
+		buf = AppendValue(buf, v)
+	}
+	for _, want := range vals {
+		var got Value
+		var err error
+		got, buf, err = DecodeValue(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d leftover bytes", len(buf))
+	}
+}
+
+func TestSetCodecRoundTrip(t *testing.T) {
+	s := Set{
+		"label":  String("OK"),
+		"width":  Int(100),
+		"active": Bool(true),
+		"scale":  Float(1.5),
+		"items":  StringList("x", "y"),
+		"stroke": PointList(Point{1, 1}, Point{2, 2}),
+		"fg":     Color("black"),
+	}
+	buf := AppendSet(nil, s)
+	got, rest, err := DecodeSet(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d leftover bytes", len(rest))
+	}
+	if !got.Equal(s) {
+		t.Fatalf("round trip mismatch: %v vs %v", got, s)
+	}
+}
+
+func TestSetEncodingDeterministic(t *testing.T) {
+	s := Set{"b": Int(1), "a": Int(2), "c": String("x")}
+	first := AppendSet(nil, s)
+	for i := 0; i < 10; i++ {
+		if string(AppendSet(nil, s)) != string(first) {
+			t.Fatal("encoding not deterministic")
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{byte(KindFloat)},              // short float
+		{byte(KindString), 0xff, 0xff}, // bad/overlong length
+		{byte(KindString), 5, 'a'},     // short string
+		{99},                           // unknown kind
+		{byte(KindStringList), 3, 1},   // truncated list
+		{byte(KindPointList), 2, 1},    // truncated points
+		{byte(KindInt)},                // missing varint
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeValue(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, _, err := DecodeSet(nil); err == nil {
+		t.Error("DecodeSet(nil): expected error")
+	}
+	if _, _, err := DecodeSet([]byte{2, 1, 'a'}); err == nil {
+		t.Error("truncated set: expected error")
+	}
+}
+
+func TestDecodeCountLimit(t *testing.T) {
+	// A huge declared string length must be rejected before allocation.
+	buf := []byte{byte(KindString), 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := DecodeValue(buf); err == nil {
+		t.Fatal("expected limit error")
+	}
+}
+
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(7) {
+	case 0:
+		return Int(r.Int63() - r.Int63())
+	case 1:
+		return Float(r.NormFloat64())
+	case 2:
+		return Bool(r.Intn(2) == 0)
+	case 3:
+		return String(randomString(r))
+	case 4:
+		return Color(randomString(r))
+	case 5:
+		n := r.Intn(5)
+		list := make([]string, n)
+		for i := range list {
+			list[i] = randomString(r)
+		}
+		return StringList(list...)
+	default:
+		n := r.Intn(5)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: int32(r.Int31() - r.Int31()), Y: int32(r.Int31() - r.Int31())}
+		}
+		return PointList(pts...)
+	}
+}
+
+func randomString(r *rand.Rand) string {
+	b := make([]byte, r.Intn(12))
+	for i := range b {
+		b[i] = byte(r.Intn(256))
+	}
+	return string(b)
+}
+
+// Property: every randomly generated value round-trips through the codec.
+func TestPropValueCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r)
+		got, rest, err := DecodeValue(AppendValue(nil, v))
+		return err == nil && len(rest) == 0 && got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every randomly generated set round-trips through the codec.
+func TestPropSetCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSet()
+		for i, n := 0, r.Intn(8); i < n; i++ {
+			s.Put(randomString(r), randomValue(r))
+		}
+		got, rest, err := DecodeSet(AppendSet(nil, s))
+		return err == nil && len(rest) == 0 && got.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics (it may error).
+func TestPropDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		DecodeValue(data)
+		DecodeSet(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkValueCodec(b *testing.B) {
+	v := StringList("alpha", "beta", "gamma", "delta")
+	buf := AppendValue(nil, v)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendValue(buf[:0], v)
+		if _, _, err := DecodeValue(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package attr
+
+import "testing"
+
+// FuzzDecodeValue asserts the value decoder never panics and that anything
+// it accepts re-encodes to a decodable value.
+func FuzzDecodeValue(f *testing.F) {
+	for _, v := range allSampleValues() {
+		f.Add(AppendValue(nil, v))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindString), 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, _, err := DecodeValue(data)
+		if err != nil {
+			return
+		}
+		again, _, err := DecodeValue(AppendValue(nil, v))
+		if err != nil {
+			t.Fatalf("re-decode of accepted value failed: %v", err)
+		}
+		if !again.Equal(v) {
+			t.Fatalf("re-encode changed the value: %v vs %v", v, again)
+		}
+	})
+}
+
+// FuzzDecodeSet mirrors FuzzDecodeValue for attribute sets.
+func FuzzDecodeSet(f *testing.F) {
+	f.Add(AppendSet(nil, Set{"a": Int(1), "b": String("x")}))
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, _, err := DecodeSet(data)
+		if err != nil {
+			return
+		}
+		again, _, err := DecodeSet(AppendSet(nil, s))
+		if err != nil {
+			t.Fatalf("re-decode of accepted set failed: %v", err)
+		}
+		if !again.Equal(s) {
+			t.Fatal("re-encode changed the set")
+		}
+	})
+}

@@ -1,0 +1,374 @@
+// Package attr implements the typed attribute system used by the widget
+// toolkit and the coupling protocol.
+//
+// Every user-interface object carries a set of named attributes. The paper's
+// synchronization-by-state mechanism transfers "relevant attributes" between
+// coupled objects, so attribute values need a stable equality, deep cloning,
+// and a compact binary encoding for the wire protocol.
+package attr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the attribute value types supported by the toolkit.
+type Kind uint8
+
+// Supported attribute kinds. KindInvalid is the zero value and marks an
+// absent or uninitialized attribute.
+const (
+	KindInvalid Kind = iota
+	KindInt
+	KindFloat
+	KindBool
+	KindString
+	KindStringList
+	KindColor
+	KindPointList
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid:    "invalid",
+	KindInt:        "int",
+	KindFloat:      "float",
+	KindBool:       "bool",
+	KindString:     "string",
+	KindStringList: "stringlist",
+	KindColor:      "color",
+	KindPointList:  "pointlist",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Point is a 2D integer coordinate used by canvas-like widgets.
+type Point struct {
+	X, Y int32
+}
+
+// Value is a dynamically typed attribute value. The zero Value has
+// KindInvalid and compares equal only to other invalid values.
+type Value struct {
+	kind   Kind
+	num    int64   // KindInt, KindBool (0/1)
+	flt    float64 // KindFloat
+	str    string  // KindString, KindColor
+	list   []string
+	points []Point
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, num: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, flt: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var n int64
+	if v {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// String returns a string value.
+func String(v string) Value { return Value{kind: KindString, str: v} }
+
+// Color returns a color value. Colors are symbolic names or #rrggbb strings;
+// the toolkit does not interpret them beyond equality.
+func Color(v string) Value { return Value{kind: KindColor, str: v} }
+
+// StringList returns a list-of-strings value. The slice is copied.
+func StringList(v ...string) Value {
+	cp := make([]string, len(v))
+	copy(cp, v)
+	return Value{kind: KindStringList, list: cp}
+}
+
+// PointList returns a list-of-points value. The slice is copied.
+func PointList(v ...Point) Value {
+	cp := make([]Point, len(v))
+	copy(cp, v)
+	return Value{kind: KindPointList, points: cp}
+}
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value holds a real attribute value.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsInt returns the integer payload. It is 0 for non-numeric kinds.
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KindInt, KindBool:
+		return v.num
+	case KindFloat:
+		return int64(v.flt)
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the floating-point payload, converting integers.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.flt
+	case KindInt, KindBool:
+		return float64(v.num)
+	default:
+		return 0
+	}
+}
+
+// AsBool returns the boolean payload. Non-bool kinds report true when
+// non-zero / non-empty.
+func (v Value) AsBool() bool {
+	switch v.kind {
+	case KindBool, KindInt:
+		return v.num != 0
+	case KindFloat:
+		return v.flt != 0
+	case KindString, KindColor:
+		return v.str != ""
+	case KindStringList:
+		return len(v.list) > 0
+	case KindPointList:
+		return len(v.points) > 0
+	default:
+		return false
+	}
+}
+
+// AsString returns the string payload for string-like kinds and a formatted
+// representation otherwise.
+func (v Value) AsString() string {
+	switch v.kind {
+	case KindString, KindColor:
+		return v.str
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindBool:
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	case KindFloat:
+		return strconv.FormatFloat(v.flt, 'g', -1, 64)
+	case KindStringList:
+		return strings.Join(v.list, ",")
+	default:
+		return ""
+	}
+}
+
+// AsStringList returns a copy of the string-list payload.
+func (v Value) AsStringList() []string {
+	if v.kind != KindStringList {
+		return nil
+	}
+	cp := make([]string, len(v.list))
+	copy(cp, v.list)
+	return cp
+}
+
+// AsPointList returns a copy of the point-list payload.
+func (v Value) AsPointList() []Point {
+	if v.kind != KindPointList {
+		return nil
+	}
+	cp := make([]Point, len(v.points))
+	copy(cp, v.points)
+	return cp
+}
+
+// Equal reports deep equality of two values. Values of different kinds are
+// never equal (there is no implicit numeric conversion: the coupling
+// protocol must treat an int 1 and a float 1.0 as distinct states).
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindInvalid:
+		return true
+	case KindInt, KindBool:
+		return v.num == o.num
+	case KindFloat:
+		return v.flt == o.flt || (math.IsNaN(v.flt) && math.IsNaN(o.flt))
+	case KindString, KindColor:
+		return v.str == o.str
+	case KindStringList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if v.list[i] != o.list[i] {
+				return false
+			}
+		}
+		return true
+	case KindPointList:
+		if len(v.points) != len(o.points) {
+			return false
+		}
+		for i := range v.points {
+			if v.points[i] != o.points[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Clone returns a deep copy of the value. Values are immutable through the
+// accessor API, but Clone guards against aliasing when a Value's backing
+// slices were produced by decoding.
+func (v Value) Clone() Value {
+	switch v.kind {
+	case KindStringList:
+		return StringList(v.list...)
+	case KindPointList:
+		return PointList(v.points...)
+	default:
+		return v
+	}
+}
+
+// String implements fmt.Stringer with a kind-tagged representation.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInvalid:
+		return "<invalid>"
+	case KindColor:
+		return "color:" + v.str
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindStringList:
+		return "[" + strings.Join(v.list, " ") + "]"
+	case KindPointList:
+		parts := make([]string, len(v.points))
+		for i, p := range v.points {
+			parts[i] = fmt.Sprintf("(%d,%d)", p.X, p.Y)
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	default:
+		return v.AsString()
+	}
+}
+
+// Set is a named collection of attribute values — the "state of a UI object"
+// in the paper's terminology (§3: "The state of UI object is the set of
+// attribute-value pairs of this object").
+type Set map[string]Value
+
+// NewSet returns an empty attribute set.
+func NewSet() Set { return make(Set) }
+
+// Get returns the value for name; the zero Value if absent.
+func (s Set) Get(name string) Value { return s[name] }
+
+// Has reports whether name is present.
+func (s Set) Has(name string) bool {
+	_, ok := s[name]
+	return ok
+}
+
+// Put stores a value under name.
+func (s Set) Put(name string, v Value) { s[name] = v }
+
+// Delete removes name from the set.
+func (s Set) Delete(name string) { delete(s, name) }
+
+// Names returns the attribute names in sorted order.
+func (s Set) Names() []string {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone returns a deep copy of the set.
+func (s Set) Clone() Set {
+	cp := make(Set, len(s))
+	for n, v := range s {
+		cp[n] = v.Clone()
+	}
+	return cp
+}
+
+// Project returns a copy of the set restricted to the given names. Missing
+// names are skipped. This implements the "relevant attributes" projection
+// used when copying or coupling UI state.
+func (s Set) Project(names []string) Set {
+	cp := make(Set, len(names))
+	for _, n := range names {
+		if v, ok := s[n]; ok {
+			cp[n] = v.Clone()
+		}
+	}
+	return cp
+}
+
+// Merge copies every entry of o into s, overwriting existing names.
+func (s Set) Merge(o Set) {
+	for n, v := range o {
+		s[n] = v.Clone()
+	}
+}
+
+// Equal reports whether two sets hold the same names with equal values.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for n, v := range s {
+		ov, ok := o[n]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the subset of o whose values differ from (or are absent in)
+// s. Applying the result to s with Merge yields a set that agrees with o on
+// all of o's names.
+func (s Set) Diff(o Set) Set {
+	d := make(Set)
+	for n, ov := range o {
+		if sv, ok := s[n]; !ok || !sv.Equal(ov) {
+			d[n] = ov.Clone()
+		}
+	}
+	return d
+}
+
+// String renders the set deterministically (sorted by name).
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range s.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", n, s[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,232 @@
+// Package multiplex implements the single-instance ("multiplex")
+// architecture of Figure 1, the SharedX/XTV reference point: several users
+// interact with ONE centralized application instance; only the I/O level is
+// replicated. The multiplexor copies the application's display output to
+// every participant and dispatches user events sequentially.
+//
+// The package exists as a baseline for the architecture comparison (E1/E2):
+// it reproduces the information flow — every interaction crosses the network
+// twice and all input is serialized through the single instance — not pixel
+// rendering.
+package multiplex
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/widget"
+)
+
+// DisplayOp is one display update sent to a user's terminal: an attribute of
+// a widget changed (the I/O-level unit shared between users — "the basic
+// unit shared between users is a window").
+type DisplayOp struct {
+	Path  string
+	Attr  string
+	Value attr.Value
+}
+
+// Display is one participant's virtual screen: the mirrored attribute state
+// plus traffic counters.
+type Display struct {
+	mu    sync.Mutex
+	state map[string]attr.Set
+	ops   atomic.Int64
+	gone  bool
+}
+
+func newDisplay() *Display {
+	return &Display{state: make(map[string]attr.Set)}
+}
+
+// apply lands one display op.
+func (d *Display) apply(op DisplayOp) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.gone {
+		return
+	}
+	set, ok := d.state[op.Path]
+	if !ok {
+		set = attr.NewSet()
+		d.state[op.Path] = set
+	}
+	set.Put(op.Attr, op.Value)
+	d.ops.Add(1)
+}
+
+// Attr reads the mirrored value of a widget attribute on this display.
+func (d *Display) Attr(path, name string) attr.Value {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if set, ok := d.state[path]; ok {
+		return set.Get(name)
+	}
+	return attr.Value{}
+}
+
+// Ops returns the number of display updates received.
+func (d *Display) Ops() int64 { return d.ops.Load() }
+
+// clear wipes the display: when a participant leaves a shared-window
+// session, the shared window "disappears in the personal environment" —
+// unlike decoupled COSOFT objects, nothing persists locally.
+func (d *Display) clear() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.state = make(map[string]attr.Set)
+	d.gone = true
+}
+
+// Options configures the multiplex system.
+type Options struct {
+	// Users is the number of participants.
+	Users int
+	// Latency is the one-way network latency between a user terminal and
+	// the central instance.
+	Latency time.Duration
+	// Spec builds the single application instance's widget tree.
+	Spec string
+}
+
+// System is the running single-instance architecture.
+type System struct {
+	opts     Options
+	reg      *widget.Registry
+	displays []*Display
+	events   chan request
+	quitOnce sync.Once
+	quit     chan struct{}
+	wg       sync.WaitGroup
+
+	eventsIn    atomic.Int64
+	displayMsgs atomic.Int64
+}
+
+type request struct {
+	user int
+	ev   *widget.Event
+	done chan error
+}
+
+// New builds and starts the system.
+func New(opts Options) (*System, error) {
+	if opts.Users <= 0 {
+		return nil, errors.New("multiplex: need at least one user")
+	}
+	reg := widget.NewRegistry()
+	if opts.Spec != "" {
+		if _, err := widget.Build(reg, "/", opts.Spec); err != nil {
+			return nil, err
+		}
+	}
+	s := &System{
+		opts:   opts,
+		reg:    reg,
+		events: make(chan request),
+		quit:   make(chan struct{}),
+	}
+	for i := 0; i < opts.Users; i++ {
+		s.displays = append(s.displays, newDisplay())
+	}
+	// Every attribute change is multiplexed to every participant's display.
+	reg.OnAttrChange(func(w *widget.Widget, name string, _, value attr.Value) {
+		op := DisplayOp{Path: w.Path(), Attr: name, Value: value}
+		for _, d := range s.displays {
+			s.displayMsgs.Add(1)
+			d.apply(op)
+		}
+	})
+	// Initial mirror of the full UI state ("the application's output is
+	// multiplexed to each participant's display").
+	_ = reg.Walk("/", func(w *widget.Widget) error {
+		st := w.State()
+		for _, n := range st.Names() {
+			op := DisplayOp{Path: w.Path(), Attr: n, Value: st.Get(n)}
+			for _, d := range s.displays {
+				d.apply(op)
+			}
+		}
+		return nil
+	})
+	s.wg.Add(1)
+	go s.dispatcher()
+	return s, nil
+}
+
+// dispatcher serializes all user input through the single instance.
+func (s *System) dispatcher() {
+	defer s.wg.Done()
+	for {
+		select {
+		case req := <-s.events:
+			// Uplink latency: the event crosses the network to the central
+			// instance.
+			sleep(s.opts.Latency)
+			err := s.reg.Dispatch(req.ev)
+			// Downlink latency: display updates cross back. All users
+			// receive them concurrently; one propagation delay covers the
+			// fan-out.
+			sleep(s.opts.Latency)
+			req.done <- err
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// Do performs a user interaction and blocks until the user's own display
+// reflects it — the earliest moment the user perceives the effect. Every
+// interaction pays the round trip; nothing executes locally.
+func (s *System) Do(user int, ev *widget.Event) error {
+	if user < 0 || user >= len(s.displays) {
+		return fmt.Errorf("multiplex: no user %d", user)
+	}
+	s.eventsIn.Add(1)
+	req := request{user: user, ev: ev, done: make(chan error, 1)}
+	select {
+	case s.events <- req:
+	case <-s.quit:
+		return errors.New("multiplex: stopped")
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-s.quit:
+		return errors.New("multiplex: stopped")
+	}
+}
+
+// Display returns a participant's virtual screen.
+func (s *System) Display(user int) *Display { return s.displays[user] }
+
+// Registry exposes the single application instance (for probes).
+func (s *System) Registry() *widget.Registry { return s.reg }
+
+// Leave disconnects a participant: their shared display disappears.
+func (s *System) Leave(user int) {
+	if user >= 0 && user < len(s.displays) {
+		s.displays[user].clear()
+	}
+}
+
+// Messages returns (events received, display messages sent).
+func (s *System) Messages() (events, displayMsgs int64) {
+	return s.eventsIn.Load(), s.displayMsgs.Load()
+}
+
+// Stop shuts the system down.
+func (s *System) Stop() {
+	s.quitOnce.Do(func() { close(s.quit) })
+	s.wg.Wait()
+}
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,150 @@
+package multiplex
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/widget"
+)
+
+func TestSharedDisplay(t *testing.T) {
+	s, err := New(Options{Users: 3, Spec: `textfield x value="init"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	// Initial mirror: every display shows the startup state.
+	for i := 0; i < 3; i++ {
+		if got := s.Display(i).Attr("/x", widget.AttrValue).AsString(); got != "init" {
+			t.Errorf("display %d initial = %q", i, got)
+		}
+	}
+
+	// User 1's interaction lands on every display — strict WYSIWIS.
+	if err := s.Do(1, &widget.Event{Path: "/x", Name: widget.EventChanged,
+		Args: []attr.Value{attr.String("typed")}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := s.Display(i).Attr("/x", widget.AttrValue).AsString(); got != "typed" {
+			t.Errorf("display %d = %q", i, got)
+		}
+	}
+	events, displayMsgs := s.Messages()
+	if events != 1 {
+		t.Errorf("events = %d", events)
+	}
+	// One change × three displays.
+	if displayMsgs != 3 {
+		t.Errorf("displayMsgs = %d", displayMsgs)
+	}
+}
+
+func TestLatencyPaidByEveryInteraction(t *testing.T) {
+	const lat = 10 * time.Millisecond
+	s, err := New(Options{Users: 1, Latency: lat, Spec: `textfield x`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	start := time.Now()
+	if err := s.Do(0, &widget.Event{Path: "/x", Name: widget.EventChanged,
+		Args: []attr.Value{attr.String("v")}}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*lat {
+		t.Errorf("interaction took %v, want >= %v (full round trip)", elapsed, 2*lat)
+	}
+}
+
+func TestInputSerialized(t *testing.T) {
+	const lat = 5 * time.Millisecond
+	s, err := New(Options{Users: 4, Latency: lat, Spec: `textfield x`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for u := 0; u < 4; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if err := s.Do(u, &widget.Event{Path: "/x", Name: widget.EventChanged,
+				Args: []attr.Value{attr.String("v")}}); err != nil {
+				t.Errorf("user %d: %v", u, err)
+			}
+		}(u)
+	}
+	wg.Wait()
+	// Four serialized events each pay 2×lat: total >= 8×lat; a parallel
+	// architecture would finish in ~2×lat.
+	if elapsed := time.Since(start); elapsed < 8*lat {
+		t.Errorf("4 concurrent events took %v, want >= %v (serialized)", elapsed, 8*lat)
+	}
+}
+
+func TestLeaveClearsDisplay(t *testing.T) {
+	s, err := New(Options{Users: 2, Spec: `textfield x value="shared"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	s.Leave(1)
+	// The shared window disappears from the leaver's environment — nothing
+	// persists (the contrast with COSOFT decoupling).
+	if got := s.Display(1).Attr("/x", widget.AttrValue); got.IsValid() {
+		t.Errorf("leaver still sees %v", got)
+	}
+	// Remaining users are unaffected.
+	if got := s.Display(0).Attr("/x", widget.AttrValue).AsString(); got != "shared" {
+		t.Errorf("remaining display = %q", got)
+	}
+	// Updates after leaving do not resurrect the leaver's display.
+	if err := s.Do(0, &widget.Event{Path: "/x", Name: widget.EventChanged,
+		Args: []attr.Value{attr.String("later")}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Display(1).Attr("/x", widget.AttrValue); got.IsValid() {
+		t.Errorf("leaver received update %v", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(Options{Users: 0}); err == nil {
+		t.Error("zero users must fail")
+	}
+	if _, err := New(Options{Users: 1, Spec: "bogus"}); err == nil {
+		t.Error("bad spec must fail")
+	}
+	s, err := New(Options{Users: 1, Spec: `textfield x`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if err := s.Do(5, &widget.Event{Path: "/x", Name: widget.EventChanged}); err == nil {
+		t.Error("unknown user must fail")
+	}
+	if err := s.Do(0, &widget.Event{Path: "/x", Name: "bogus"}); err == nil {
+		t.Error("bad event must fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s, err := New(Options{Users: 1, Spec: `textfield x value="v"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if s.Registry() == nil {
+		t.Error("Registry nil")
+	}
+	if s.Display(0).Ops() == 0 {
+		t.Error("initial mirror produced no ops")
+	}
+	s.Leave(-1) // out of range must be a no-op
+	s.Leave(99)
+}

@@ -1,0 +1,113 @@
+package timestamp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSequentialWritesConverge(t *testing.T) {
+	s, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	s.Node(0).Apply("x", "a")
+	s.Quiesce()
+	s.Node(1).Apply("x", "b")
+	s.Quiesce()
+	for i := 0; i < 3; i++ {
+		if got := s.Node(i).Value("x"); got != "b" {
+			t.Errorf("node %d = %q", i, got)
+		}
+	}
+	if !s.Converged("x") {
+		t.Error("not converged")
+	}
+	_, conflicts, _ := s.Stats()
+	if conflicts != 0 {
+		t.Errorf("sequential writes produced %d conflicts", conflicts)
+	}
+}
+
+func TestConcurrentWritesDetected(t *testing.T) {
+	// The delivery delay guarantees both writes happen before either is
+	// seen — a deterministic conflict.
+	s, err := NewWithDelay(2, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	// Both nodes write before either sees the other: a genuine conflict.
+	s.Node(0).Apply("x", "from0")
+	s.Node(1).Apply("x", "from1")
+	s.Quiesce()
+	if !s.Converged("x") {
+		t.Fatal("conflict resolution must converge")
+	}
+	// The total order (ts=1,node=1) > (ts=1,node=0): node 1's value wins.
+	if got := s.Node(0).Value("x"); got != "from1" {
+		t.Errorf("winner = %q, want from1", got)
+	}
+	_, conflicts, undos := s.Stats()
+	if conflicts == 0 || undos == 0 {
+		t.Errorf("conflicts = %d, undos = %d; want both > 0", conflicts, undos)
+	}
+}
+
+func TestNoConflictOnDistinctKeys(t *testing.T) {
+	s, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	s.Node(0).Apply("a", "x")
+	s.Node(1).Apply("b", "y")
+	s.Quiesce()
+	if s.Node(1).Value("a") != "x" || s.Node(0).Value("b") != "y" {
+		t.Error("values not replicated")
+	}
+	_, conflicts, _ := s.Stats()
+	if conflicts != 0 {
+		t.Errorf("independent writes produced %d conflicts", conflicts)
+	}
+}
+
+func TestManyConcurrentWritersConverge(t *testing.T) {
+	const nodes, writes = 4, 25
+	s, err := New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < writes; i++ {
+				s.Node(n).Apply("hot", fmt.Sprintf("n%d-%d", n, i))
+			}
+		}(n)
+	}
+	wg.Wait()
+	s.Quiesce()
+	if !s.Converged("hot") {
+		vals := make([]string, nodes)
+		for i := range vals {
+			vals[i] = s.Node(i).Value("hot")
+		}
+		t.Fatalf("diverged: %v", vals)
+	}
+	broadcasts, _, _ := s.Stats()
+	if broadcasts != nodes*writes {
+		t.Errorf("broadcasts = %d, want %d", broadcasts, nodes*writes)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero nodes must fail")
+	}
+}

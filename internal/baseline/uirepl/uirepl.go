@@ -1,0 +1,176 @@
+// Package uirepl implements the UI-replicated ("partially replicated")
+// architecture of Figure 2, the Suite/Rendezvous reference point: each user
+// owns a full UI replica, but ONE shared semantic component executes all
+// application actions, buffered and sequential.
+//
+// "Concurrency on the user interface level is gained through buffering and
+// sequential execution of those user actions that affect the semantics of
+// the application. If such a semantic action is time-consuming, it may of
+// course block the execution of other user's actions for an unacceptably
+// long period of time."
+package uirepl
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/widget"
+)
+
+// SemanticAction is an application operation executed by the shared semantic
+// process. It receives the shared semantic state and returns UI updates to
+// broadcast to every replica.
+type SemanticAction func(state map[string]string) []Update
+
+// Update is one UI change pushed to all replicas after a semantic action.
+type Update struct {
+	Path string
+	Name string // attribute to set
+	Text string // string value (the common case for this baseline)
+}
+
+// Options configures the system.
+type Options struct {
+	// Users is the number of UI replicas.
+	Users int
+	// Latency is the one-way latency between a UI replica and the semantic
+	// process.
+	Latency time.Duration
+	// SemanticCost is the execution time of each semantic action.
+	SemanticCost time.Duration
+	// Spec builds each user's UI replica.
+	Spec string
+	// Buffer is the semantic queue depth (0 = 64).
+	Buffer int
+}
+
+// System is the running UI-replicated architecture.
+type System struct {
+	opts     Options
+	replicas []*widget.Registry
+	semantic chan semReq
+	state    map[string]string // shared application data, semantic-side only
+	quitOnce sync.Once
+	quit     chan struct{}
+	wg       sync.WaitGroup
+
+	semActions atomic.Int64
+	updatesOut atomic.Int64
+}
+
+type semReq struct {
+	action SemanticAction
+	done   chan struct{}
+}
+
+// New builds and starts the system.
+func New(opts Options) (*System, error) {
+	if opts.Users <= 0 {
+		return nil, errors.New("uirepl: need at least one user")
+	}
+	if opts.Buffer == 0 {
+		opts.Buffer = 64
+	}
+	s := &System{
+		opts:     opts,
+		semantic: make(chan semReq, opts.Buffer),
+		state:    make(map[string]string),
+		quit:     make(chan struct{}),
+	}
+	for i := 0; i < opts.Users; i++ {
+		reg := widget.NewRegistry()
+		if opts.Spec != "" {
+			if _, err := widget.Build(reg, "/", opts.Spec); err != nil {
+				return nil, err
+			}
+		}
+		s.replicas = append(s.replicas, reg)
+	}
+	s.wg.Add(1)
+	go s.semanticLoop()
+	return s, nil
+}
+
+// semanticLoop is the single shared semantic process.
+func (s *System) semanticLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case req := <-s.semantic:
+			sleep(s.opts.Latency) // uplink to the semantic process
+			if s.opts.SemanticCost > 0 {
+				time.Sleep(s.opts.SemanticCost)
+			}
+			updates := req.action(s.state)
+			s.semActions.Add(1)
+			// Broadcast resulting UI updates to every replica; one
+			// propagation delay covers the concurrent fan-out.
+			sleep(s.opts.Latency)
+			for _, u := range updates {
+				for _, reg := range s.replicas {
+					s.updatesOut.Add(1)
+					if w, err := reg.Lookup(u.Path); err == nil {
+						w.SetAttr(u.Name, attr.String(u.Text))
+					}
+				}
+			}
+			close(req.done)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// DoLocal performs a purely syntactic interaction: it executes on the user's
+// own replica immediately, without involving the semantic process. This is
+// the architecture's advantage over the multiplex scheme.
+func (s *System) DoLocal(user int, ev *widget.Event) error {
+	if user < 0 || user >= len(s.replicas) {
+		return errors.New("uirepl: no such user")
+	}
+	return s.replicas[user].Dispatch(ev)
+}
+
+// DoSemantic submits a semantic action and blocks until the shared semantic
+// process executed it and broadcast the updates. Semantic actions from all
+// users serialize here.
+func (s *System) DoSemantic(user int, action SemanticAction) error {
+	if user < 0 || user >= len(s.replicas) {
+		return errors.New("uirepl: no such user")
+	}
+	req := semReq{action: action, done: make(chan struct{})}
+	select {
+	case s.semantic <- req:
+	case <-s.quit:
+		return errors.New("uirepl: stopped")
+	}
+	select {
+	case <-req.done:
+		return nil
+	case <-s.quit:
+		return errors.New("uirepl: stopped")
+	}
+}
+
+// Replica returns a user's UI replica.
+func (s *System) Replica(user int) *widget.Registry { return s.replicas[user] }
+
+// Messages returns (semantic actions executed, UI updates sent).
+func (s *System) Messages() (semActions, updates int64) {
+	return s.semActions.Load(), s.updatesOut.Load()
+}
+
+// Stop shuts the system down.
+func (s *System) Stop() {
+	s.quitOnce.Do(func() { close(s.quit) })
+	s.wg.Wait()
+}
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

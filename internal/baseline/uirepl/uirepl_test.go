@@ -1,0 +1,136 @@
+package uirepl
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/widget"
+)
+
+func TestLocalActionsAreLocal(t *testing.T) {
+	s, err := New(Options{Users: 2, Spec: `textfield draft value=""`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if err := s.DoLocal(0, &widget.Event{Path: "/draft", Name: widget.EventChanged,
+		Args: []attr.Value{attr.String("private typing")}}); err != nil {
+		t.Fatal(err)
+	}
+	w0, _ := s.Replica(0).Lookup("/draft")
+	if w0.Attr(widget.AttrValue).AsString() != "private typing" {
+		t.Error("local replica not updated")
+	}
+	// The other replica is untouched: syntactic actions do not cross the
+	// network in this architecture.
+	w1, _ := s.Replica(1).Lookup("/draft")
+	if w1.Attr(widget.AttrValue).AsString() != "" {
+		t.Error("local action leaked to another replica")
+	}
+	sem, _ := s.Messages()
+	if sem != 0 {
+		t.Errorf("semantic actions = %d", sem)
+	}
+}
+
+func TestSemanticActionBroadcasts(t *testing.T) {
+	s, err := New(Options{Users: 3, Spec: `label total label="0"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	err = s.DoSemantic(0, func(state map[string]string) []Update {
+		state["count"] = "7"
+		return []Update{{Path: "/total", Name: widget.AttrLabel, Text: state["count"]}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		w, _ := s.Replica(i).Lookup("/total")
+		if got := w.Attr(widget.AttrLabel).AsString(); got != "7" {
+			t.Errorf("replica %d = %q", i, got)
+		}
+	}
+	sem, updates := s.Messages()
+	if sem != 1 || updates != 3 {
+		t.Errorf("messages = %d, %d", sem, updates)
+	}
+}
+
+func TestSlowSemanticActionBlocksOthers(t *testing.T) {
+	const cost = 10 * time.Millisecond
+	s, err := New(Options{Users: 4, SemanticCost: cost, Spec: `label x`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for u := 0; u < 4; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if err := s.DoSemantic(u, func(map[string]string) []Update { return nil }); err != nil {
+				t.Errorf("user %d: %v", u, err)
+			}
+		}(u)
+	}
+	wg.Wait()
+	// Four semantic actions serialize: >= 4×cost. This is the failure mode
+	// the paper cites against the UI-replicated architecture.
+	if elapsed := time.Since(start); elapsed < 4*cost {
+		t.Errorf("4 semantic actions took %v, want >= %v", elapsed, 4*cost)
+	}
+}
+
+func TestSharedSemanticState(t *testing.T) {
+	s, err := New(Options{Users: 2, Spec: `label x`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	for i := 0; i < 5; i++ {
+		user := i % 2
+		if err := s.DoSemantic(user, func(state map[string]string) []Update {
+			state["n"] = fmt.Sprintf("%d", i+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Verify through a final read action that all writers hit one state.
+	var got string
+	if err := s.DoSemantic(0, func(state map[string]string) []Update {
+		got = state["n"]
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != "5" {
+		t.Errorf("shared state n = %q", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(Options{Users: 0}); err == nil {
+		t.Error("zero users must fail")
+	}
+	if _, err := New(Options{Users: 1, Spec: "bogus"}); err == nil {
+		t.Error("bad spec must fail")
+	}
+	s, err := New(Options{Users: 1, Spec: `label x`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if err := s.DoLocal(9, nil); err == nil {
+		t.Error("bad user must fail")
+	}
+	if err := s.DoSemantic(9, nil); err == nil {
+		t.Error("bad user must fail")
+	}
+}

@@ -1,0 +1,111 @@
+package classroom
+
+import (
+	"cosoft/internal/widget"
+	"encoding/json"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Demon is the "intelligent demon" of §4: a rule-based watcher of the
+// student's exercise that generates automatic messages to the teacher when a
+// rule triggers. Sessions with the teacher are "typically initiated either
+// by a direct request sent by a student or by an automatic message generated
+// by an intelligent demon".
+type Demon struct {
+	student *Student
+
+	mu        sync.Mutex
+	rules     []Rule
+	triggered int
+}
+
+// Rule inspects the current answer text; a non-empty return is the message
+// sent to the teacher.
+type Rule func(answer string) string
+
+// DefaultRules returns the built-in demon rules.
+func DefaultRules() []Rule {
+	return []Rule{
+		// A question mark in an answer signals confusion.
+		func(answer string) string {
+			if strings.Contains(answer, "?") {
+				return "student seems unsure: answer contains a question"
+			}
+			return ""
+		},
+		// Repeated deletions leave an empty answer after typing.
+		func(answer string) string {
+			if strings.TrimSpace(answer) == "" {
+				return ""
+			}
+			if strings.Contains(strings.ToLower(answer), "help") {
+				return "student asked for help in the answer field"
+			}
+			return ""
+		},
+	}
+}
+
+// newDemon attaches the demon to the student's answer field.
+func newDemon(s *Student) *Demon {
+	d := &Demon{student: s, rules: DefaultRules()}
+	if w, err := s.reg.Lookup("/desk/answer"); err == nil {
+		// The demon watches local typing only: remote re-executions are the
+		// teacher's own edits and must not re-alert the teacher.
+		_ = w.AddCallback(widget.EventChanged, func(e *widget.Event) {
+			if e.Remote {
+				return
+			}
+			d.check(e.Args[0].AsString())
+		})
+	}
+	return d
+}
+
+// check runs the rules and sends automatic messages for every hit.
+func (d *Demon) check(answer string) {
+	d.mu.Lock()
+	rules := d.rules
+	d.mu.Unlock()
+	for _, rule := range rules {
+		text := rule(answer)
+		if text == "" {
+			continue
+		}
+		d.mu.Lock()
+		d.triggered++
+		d.mu.Unlock()
+		teacher, err := d.student.teacherID()
+		if err != nil {
+			continue
+		}
+		payload, err := json.Marshal(Message{
+			User: d.student.user(),
+			Text: text,
+			At:   time.Now(),
+		})
+		if err != nil {
+			continue
+		}
+		_ = d.student.cli.SendCommand(CmdDemon, payload, teacher)
+	}
+}
+
+// AddRule installs an additional rule.
+func (d *Demon) AddRule(r Rule) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rules = append(d.rules, r)
+}
+
+// Triggered returns how many automatic messages the demon generated.
+func (d *Demon) Triggered() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.triggered
+}
+
+// Demon returns the student's demon (nil before Attach).
+func (s *Student) Demon() *Demon { return s.demon }

@@ -1,0 +1,390 @@
+// Package client implements the application-instance side of the coupling
+// model: the extension that hooks a widget.Registry's event dispatch into
+// the central server, re-executes remote events, answers state requests, and
+// exposes the paper's primitives (Couple/Decouple, CopyTo/CopyFrom,
+// RemoteCopy, CoSendCommand, undo/redo).
+//
+// Making an application cooperative requires no more than creating a Client
+// over its widget registry and declaring the couplable objects — "no more
+// programming than inserting a statement to register the application with
+// the server is needed" (§4).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cosoft/internal/compat"
+	"cosoft/internal/couple"
+	"cosoft/internal/widget"
+	"cosoft/internal/wire"
+)
+
+// Errors reported by client operations.
+var (
+	ErrClosed   = errors.New("client: closed")
+	ErrTimeout  = errors.New("client: request timed out")
+	ErrRejected = errors.New("client: event rejected (group locked)")
+)
+
+// CommandHandler processes an application-defined command (§3.4): the
+// receiving side of CoSendCommand.
+type CommandHandler func(from couple.InstanceID, payload []byte)
+
+// Semantics holds the store/load functions of application data attached to
+// a UI object (§3.1 "Synchronizing semantic state").
+type Semantics struct {
+	// Store packs the semantic data of the object for transfer.
+	Store func() ([]byte, error)
+	// Load unpacks transferred semantic data into the application.
+	Load func([]byte) error
+}
+
+// Options configures a Client.
+type Options struct {
+	// AppType names the application; instances of different AppTypes are
+	// heterogeneous.
+	AppType string
+	// Host and User describe the participant for the registration record.
+	Host string
+	User string
+	// Registry is the application's widget tree. Required.
+	Registry *widget.Registry
+	// Correspondences used for client-side s-compatibility matching. Nil
+	// means same-class only. (The server holds its own copy for validation.)
+	Correspondences *compat.Correspondences
+	// RPCTimeout bounds each request/response round trip (0 = 30s).
+	RPCTimeout time.Duration
+	// OnStateApplied, if set, is called after a remote state lands on a
+	// local object.
+	OnStateApplied func(path string, origin couple.InstanceID)
+	// OnRemoteEvent, if set, is called after a remote event was re-executed
+	// locally.
+	OnRemoteEvent func(e *widget.Event)
+	// MarkOrigin, when set, records the originating instance on every
+	// widget that received a remote event or state copy, in the
+	// OriginAttr attribute. Applications use it to render remote
+	// modifications differently — the congruence-of-views relaxation
+	// (GROVE's "different colors for certain purposes", §1).
+	MarkOrigin bool
+	// Logf receives diagnostic output; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Client connects one application instance to the coupling server.
+type Client struct {
+	opts    Options
+	conn    *wire.Conn
+	reg     *widget.Registry
+	checker *compat.Checker
+	id      couple.InstanceID
+
+	mu      sync.Mutex
+	nextSeq uint64
+	waiters map[uint64]chan wire.Envelope
+	links   *couple.Graph
+	cmds    map[string]CommandHandler
+	sem     map[string]Semantics
+	closed  bool
+
+	inbox chan wire.Envelope
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// New performs the registration handshake over conn and starts the client
+// loops.
+func New(conn net.Conn, opts Options) (*Client, error) {
+	if opts.Registry == nil {
+		return nil, errors.New("client: Options.Registry is required")
+	}
+	if opts.RPCTimeout == 0 {
+		opts.RPCTimeout = 30 * time.Second
+	}
+	c := &Client{
+		opts:    opts,
+		conn:    wire.NewConn(conn),
+		reg:     opts.Registry,
+		checker: compat.NewChecker(opts.Registry.Classes(), opts.Correspondences),
+		waiters: make(map[uint64]chan wire.Envelope),
+		links:   couple.NewGraph(),
+		cmds:    make(map[string]CommandHandler),
+		sem:     make(map[string]Semantics),
+		inbox:   make(chan wire.Envelope, 256),
+		done:    make(chan struct{}),
+	}
+	// Handshake: Register must be answered by Registered before the loops
+	// start.
+	if err := c.conn.Write(wire.Envelope{Seq: 1, Msg: wire.Register{
+		AppType: opts.AppType, Host: opts.Host, User: opts.User,
+	}}); err != nil {
+		return nil, fmt.Errorf("client: register: %w", err)
+	}
+	env, err := c.conn.Read()
+	if err != nil {
+		return nil, fmt.Errorf("client: register reply: %w", err)
+	}
+	switch m := env.Msg.(type) {
+	case wire.Registered:
+		c.id = m.ID
+	case wire.Err:
+		return nil, fmt.Errorf("client: registration refused: %s", m.Text)
+	default:
+		return nil, fmt.Errorf("client: unexpected registration reply %s", env.Msg.MsgType())
+	}
+	c.mu.Lock()
+	c.nextSeq = 1
+	c.mu.Unlock()
+
+	// Hook the toolkit: local events on coupled objects go through the
+	// server; everything else is processed locally.
+	c.reg.OnEvent(c.handleLocalEvent)
+	c.reg.OnDestroy(func(w *widget.Widget) {
+		// Automatic decoupling of destroyed objects (§3.2).
+		if err := c.callOK(wire.Retract{Path: w.Path()}); err != nil && !errors.Is(err, ErrClosed) {
+			c.logf("client %s: retract %s: %v", c.id, w.Path(), err)
+		}
+	})
+
+	c.wg.Add(2)
+	go c.readLoop()
+	go c.dispatchLoop()
+	return c, nil
+}
+
+// ID returns the server-assigned application instance identifier.
+func (c *Client) ID() couple.InstanceID { return c.id }
+
+// Registry returns the widget registry this client extends.
+func (c *Client) Registry() *widget.Registry { return c.reg }
+
+// Ref returns the global reference of a local object.
+func (c *Client) Ref(path string) couple.ObjectRef {
+	return couple.ObjectRef{Instance: c.id, Path: path}
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// Close deregisters and tears down the connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	// Best effort orderly exit; the server also handles abrupt closes.
+	_ = c.conn.Write(wire.Envelope{Msg: wire.Deregister{}})
+	close(c.done)
+	c.conn.Close()
+	c.reg.OnEvent(nil)
+	c.reg.OnDestroy(nil)
+	c.wg.Wait()
+	// Fail anybody still waiting for replies.
+	c.mu.Lock()
+	for seq, ch := range c.waiters {
+		close(ch)
+		delete(c.waiters, seq)
+	}
+	c.mu.Unlock()
+}
+
+// call sends a request and waits for its correlated reply.
+func (c *Client) call(msg wire.Message) (wire.Envelope, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return wire.Envelope{}, ErrClosed
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	ch := make(chan wire.Envelope, 1)
+	c.waiters[seq] = ch
+	c.mu.Unlock()
+
+	if err := c.conn.Write(wire.Envelope{Seq: seq, Msg: msg}); err != nil {
+		c.dropWaiter(seq)
+		return wire.Envelope{}, fmt.Errorf("client: send %s: %w", msg.MsgType(), err)
+	}
+	timer := time.NewTimer(c.opts.RPCTimeout)
+	defer timer.Stop()
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			return wire.Envelope{}, ErrClosed
+		}
+		return env, nil
+	case <-timer.C:
+		c.dropWaiter(seq)
+		return wire.Envelope{}, fmt.Errorf("%w: %s", ErrTimeout, msg.MsgType())
+	case <-c.done:
+		c.dropWaiter(seq)
+		return wire.Envelope{}, ErrClosed
+	}
+}
+
+// callOK sends a request expecting a plain OK.
+func (c *Client) callOK(msg wire.Message) error {
+	env, err := c.call(msg)
+	if err != nil {
+		return err
+	}
+	switch m := env.Msg.(type) {
+	case wire.OK:
+		return nil
+	case wire.Err:
+		return errors.New(m.Text)
+	default:
+		return fmt.Errorf("client: unexpected reply %s to %s", env.Msg.MsgType(), msg.MsgType())
+	}
+}
+
+func (c *Client) dropWaiter(seq uint64) {
+	c.mu.Lock()
+	delete(c.waiters, seq)
+	c.mu.Unlock()
+}
+
+// readLoop routes replies to waiters and server-initiated traffic to the
+// dispatch loop.
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	defer close(c.inbox)
+	for {
+		env, err := c.conn.Read()
+		if err != nil {
+			return
+		}
+		if env.RefSeq != 0 {
+			c.mu.Lock()
+			ch, ok := c.waiters[env.RefSeq]
+			if ok {
+				delete(c.waiters, env.RefSeq)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- env
+			}
+			continue
+		}
+		// Coupling information is mirrored synchronously so that a Couple
+		// call observes its own link as soon as the server confirmed it
+		// (the LinkAdded precedes the OK on the same connection).
+		switch m := env.Msg.(type) {
+		case wire.LinkAdded:
+			if err := c.links.AddLink(m.Link); err != nil {
+				c.logf("client %s: mirror link: %v", c.id, err)
+			}
+			continue
+		case wire.LinkRemoved:
+			c.links.RemoveLink(m.Link.From, m.Link.To)
+			continue
+		}
+		select {
+		case c.inbox <- env:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// dispatchLoop is the instance's UI thread for server-initiated work: remote
+// event re-execution, state application, lock toggling, coupling-info
+// mirroring, state requests and command delivery.
+func (c *Client) dispatchLoop() {
+	defer c.wg.Done()
+	for env := range c.inbox {
+		switch m := env.Msg.(type) {
+		case wire.Exec:
+			c.handleExec(m)
+		case wire.SetLocks:
+			for _, path := range m.Paths {
+				if w, err := c.reg.Lookup(path); err == nil {
+					w.SetDisabled(m.Locked)
+				}
+			}
+		case wire.ApplyState:
+			c.handleApplyState(m)
+		case wire.StateRequest:
+			c.handleStateRequest(m)
+		case wire.CommandDeliver:
+			c.mu.Lock()
+			h := c.cmds[m.Name]
+			c.mu.Unlock()
+			if h != nil {
+				h(m.From, m.Payload)
+			} else {
+				c.logf("client %s: no handler for command %q", c.id, m.Name)
+			}
+		default:
+			c.logf("client %s: unexpected server message %s", c.id, env.Msg.MsgType())
+		}
+	}
+}
+
+// Coupled reports whether the local object currently participates in a
+// coupling group, according to the locally replicated coupling information.
+func (c *Client) Coupled(path string) bool {
+	return c.links.Coupled(c.Ref(path))
+}
+
+// CO returns the locally mirrored coupling group of a local object,
+// excluding the object itself.
+func (c *Client) CO(path string) []couple.ObjectRef {
+	return c.links.CO(c.Ref(path))
+}
+
+// OnCommand registers the handler for an application-defined command name.
+func (c *Client) OnCommand(name string, h CommandHandler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cmds[name] = h
+}
+
+// SendCommand sends an application-defined command through the server
+// (CoSendCommand, §3.4). Empty targets broadcast to all other instances.
+func (c *Client) SendCommand(name string, payload []byte, targets ...couple.InstanceID) error {
+	return c.callOK(wire.Command{Name: name, Targets: targets, Payload: payload})
+}
+
+// RegisterSemantics attaches store/load functions for the semantic data of
+// a local object. They run automatically when the object's state is copied.
+func (c *Client) RegisterSemantics(path string, s Semantics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sem[path] = s
+}
+
+// Instances returns the server's registration records.
+func (c *Client) Instances() ([]wire.InstanceInfo, error) {
+	env, err := c.call(wire.ListInstances{})
+	if err != nil {
+		return nil, err
+	}
+	switch m := env.Msg.(type) {
+	case wire.InstanceList:
+		return m.Instances, nil
+	case wire.Err:
+		return nil, errors.New(m.Text)
+	default:
+		return nil, fmt.Errorf("client: unexpected reply %s", env.Msg.MsgType())
+	}
+}
+
+// GrantPerm installs an access-permission rule on the server.
+func (c *Client) GrantPerm(user, state string, right uint8) error {
+	return c.callOK(wire.GrantPerm{User: user, State: state, Right: right})
+}
+
+// RevokePerm removes an access-permission rule on the server.
+func (c *Client) RevokePerm(user, state string, right uint8) error {
+	return c.callOK(wire.RevokePerm{User: user, State: state, Right: right})
+}

@@ -1,0 +1,67 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// JSONSemantics builds store/load hooks that marshal an application data
+// structure as JSON — one of the "standard extensions for typical
+// applications" the paper suggests for synchronizing semantic state (§5).
+// The value must be a pointer; Load unmarshals into it in place.
+//
+// Access to the value is serialized through the returned hooks; the
+// application must route its own reads/writes through mu (returned for that
+// purpose) or register per-object values it only touches from callbacks.
+func JSONSemantics(v any) (Semantics, *sync.Mutex) {
+	mu := &sync.Mutex{}
+	return Semantics{
+		Store: func() ([]byte, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			data, err := json.Marshal(v)
+			if err != nil {
+				return nil, fmt.Errorf("client: marshal semantic state: %w", err)
+			}
+			return data, nil
+		},
+		Load: func(data []byte) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if err := json.Unmarshal(data, v); err != nil {
+				return fmt.Errorf("client: unmarshal semantic state: %w", err)
+			}
+			return nil
+		},
+	}, mu
+}
+
+// KVSemantics builds hooks around a string map — the "attach all relevant
+// application data to UI objects" convention the paper recommends so
+// programmers can avoid hand-written pack functions (§3.1).
+func KVSemantics(kv map[string]string) (Semantics, *sync.Mutex) {
+	mu := &sync.Mutex{}
+	return Semantics{
+		Store: func() ([]byte, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return json.Marshal(kv)
+		},
+		Load: func(data []byte) error {
+			mu.Lock()
+			defer mu.Unlock()
+			incoming := make(map[string]string)
+			if err := json.Unmarshal(data, &incoming); err != nil {
+				return fmt.Errorf("client: unmarshal kv state: %w", err)
+			}
+			for k := range kv {
+				delete(kv, k)
+			}
+			for k, v := range incoming {
+				kv[k] = v
+			}
+			return nil
+		},
+	}, mu
+}

@@ -1,0 +1,127 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/couple"
+	"cosoft/internal/widget"
+	"cosoft/internal/wire"
+)
+
+// OriginAttr is the attribute that records which instance caused the last
+// remote modification of a widget, when Options.MarkOrigin is set. It is not
+// part of any widget class and never travels in relevant-state copies.
+const OriginAttr = "_origin"
+
+// handleLocalEvent is the toolkit interception hook: it implements the
+// origin side of the multiple-execution algorithm (§3.2).
+//
+// The event's built-in ("syntactic") feedback is applied immediately so the
+// user sees an instant response; the event is then offered to the server,
+// which locks the coupling group and broadcasts it. If the lock fails, the
+// feedback is undone — "undo syntactic built-in feedback of the event e".
+func (c *Client) handleLocalEvent(e *widget.Event) {
+	if !c.Coupled(e.Path) {
+		// Uncoupled objects behave exactly as in the single-user toolkit.
+		if _, err := c.reg.Deliver(e); err != nil {
+			c.logf("client %s: local event %s: %v", c.id, e, err)
+		}
+		return
+	}
+	undo, err := c.reg.ApplyFeedback(e)
+	if err != nil {
+		c.logf("client %s: feedback %s: %v", c.id, e, err)
+		return
+	}
+	env, err := c.call(wire.Event{Path: e.Path, Name: e.Name, Args: e.Args})
+	if err != nil {
+		undo()
+		c.logf("client %s: event %s: %v", c.id, e, err)
+		return
+	}
+	res, ok := env.Msg.(wire.EventResult)
+	if !ok {
+		undo()
+		c.logf("client %s: event %s: unexpected reply %s", c.id, e, env.Msg.MsgType())
+		return
+	}
+	if !res.OK {
+		undo()
+		c.logf("client %s: event %s rejected: %s", c.id, e, res.Reason)
+		return
+	}
+	// Accepted: run the application callbacks locally, exactly as the
+	// coupled instances will when they receive the Exec broadcast.
+	c.reg.RunCallbacks(e)
+}
+
+// DispatchChecked dispatches a local event like widget.Registry.Dispatch but
+// reports rejection: callers that need to distinguish "executed" from
+// "group was locked" (benchmarks, tests) use this instead of the hook path.
+func (c *Client) DispatchChecked(e *widget.Event) error {
+	if !c.Coupled(e.Path) {
+		_, err := c.reg.Deliver(e)
+		return err
+	}
+	undo, err := c.reg.ApplyFeedback(e)
+	if err != nil {
+		return err
+	}
+	env, err := c.call(wire.Event{Path: e.Path, Name: e.Name, Args: e.Args})
+	if err != nil {
+		undo()
+		return err
+	}
+	res, ok := env.Msg.(wire.EventResult)
+	if !ok {
+		undo()
+		return fmt.Errorf("client: unexpected reply %s", env.Msg.MsgType())
+	}
+	if !res.OK {
+		undo()
+		return fmt.Errorf("%w: %s", ErrRejected, res.Reason)
+	}
+	c.reg.RunCallbacks(e)
+	return nil
+}
+
+// handleExec re-executes a remote event on the local member of the coupling
+// group: "this event packed with some parameters is sent to the server.
+// Then the server broadcasts this message to the application instances where
+// it is unpacked and re-executed" (§3.2).
+func (c *Client) handleExec(m wire.Exec) {
+	e := &widget.Event{
+		Path:   m.TargetPath,
+		Name:   m.Name,
+		Args:   m.Args,
+		Remote: true,
+	}
+	if _, err := c.reg.Deliver(e); err != nil {
+		// The object may be mid-destruction or the classes may disagree on
+		// arguments; the event is acknowledged regardless so the group
+		// unlocks.
+		if !errors.Is(err, widget.ErrNotFound) {
+			c.logf("client %s: exec %s: %v", c.id, e, err)
+		}
+	} else {
+		c.markOrigin(e.Path, m.Origin.Instance)
+		if c.opts.OnRemoteEvent != nil {
+			c.opts.OnRemoteEvent(e)
+		}
+	}
+	if err := c.conn.Write(wire.Envelope{Msg: wire.ExecAck{EventID: m.EventID}}); err != nil {
+		c.logf("client %s: exec ack: %v", c.id, err)
+	}
+}
+
+// markOrigin stamps the provenance attribute when congruence marking is on.
+func (c *Client) markOrigin(path string, origin couple.InstanceID) {
+	if !c.opts.MarkOrigin {
+		return
+	}
+	if w, err := c.reg.Lookup(path); err == nil {
+		w.SetAttr(OriginAttr, attr.String(string(origin)))
+	}
+}

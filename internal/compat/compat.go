@@ -1,0 +1,453 @@
+// Package compat implements the compatibility machinery of §3.3: direct
+// compatibility between primitive UI objects (same type, or a declared
+// correspondence relation over relevant attributes), structural
+// compatibility (s-compatibility) between complex objects, and the two
+// approaches for non-identical structures — destructive merging and flexible
+// matching.
+package compat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/widget"
+)
+
+// Correspondences stores declared correspondence relations between widget
+// classes: for a pair (A, B), a mapping from each relevant attribute of A to
+// the attribute of B used for copying or coupling.
+type Correspondences struct {
+	mu sync.RWMutex
+	m  map[[2]string]map[string]string
+}
+
+// NewCorrespondences returns an empty correspondence registry.
+func NewCorrespondences() *Correspondences {
+	return &Correspondences{m: make(map[[2]string]map[string]string)}
+}
+
+// Declare records a correspondence from class a to class b. attrMap maps
+// attributes of a to attributes of b; it replaces any previous declaration
+// for the pair.
+func (c *Correspondences) Declare(a, b string, attrMap map[string]string) {
+	cp := make(map[string]string, len(attrMap))
+	for k, v := range attrMap {
+		cp[k] = v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[[2]string{a, b}] = cp
+}
+
+// lookup returns the declared mapping from a to b, if any.
+func (c *Correspondences) lookup(a, b string) (map[string]string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.m[[2]string{a, b}]
+	return m, ok
+}
+
+// Checker answers compatibility questions against a class registry and a
+// correspondence registry.
+type Checker struct {
+	classes *widget.ClassRegistry
+	corr    *Correspondences
+}
+
+// NewChecker returns a checker over the given registries. corr may be nil
+// for a checker that only accepts same-class compatibility.
+func NewChecker(classes *widget.ClassRegistry, corr *Correspondences) *Checker {
+	if corr == nil {
+		corr = NewCorrespondences()
+	}
+	return &Checker{classes: classes, corr: corr}
+}
+
+// Direct reports whether primitive objects of class a can be coupled with or
+// copied to objects of class b, returning the attribute mapping (from a's
+// relevant attributes to b's attributes).
+//
+// "Primitive objects are compatible if they are of the same type or if a
+// correspondence relation is declared for their relevant attributes."
+func (k *Checker) Direct(a, b string) (map[string]string, bool) {
+	classA, err := k.classes.Lookup(a)
+	if err != nil {
+		return nil, false
+	}
+	if a == b {
+		ident := make(map[string]string, len(classA.Relevant))
+		for _, r := range classA.Relevant {
+			ident[r] = r
+		}
+		return ident, true
+	}
+	if m, ok := k.corr.lookup(a, b); ok {
+		if coversRelevant(classA, m) {
+			return m, true
+		}
+		return nil, false
+	}
+	// A declaration in the other direction works when it is invertible and
+	// its inverse covers a's relevant attributes.
+	if m, ok := k.corr.lookup(b, a); ok {
+		inv, invertible := invert(m)
+		if invertible && coversRelevant(classA, inv) {
+			return inv, true
+		}
+	}
+	return nil, false
+}
+
+// TranslateState rewrites an attribute set through a correspondence mapping:
+// source attribute names become destination names; unmapped attributes are
+// dropped.
+func TranslateState(s attr.Set, mapping map[string]string) attr.Set {
+	out := make(attr.Set, len(s))
+	for name, v := range s {
+		if dst, ok := mapping[name]; ok {
+			out[dst] = v.Clone()
+		}
+	}
+	return out
+}
+
+func coversRelevant(c *widget.Class, m map[string]string) bool {
+	for _, r := range c.Relevant {
+		if _, ok := m[r]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func invert(m map[string]string) (map[string]string, bool) {
+	inv := make(map[string]string, len(m))
+	for k, v := range m {
+		if _, dup := inv[v]; dup {
+			return nil, false
+		}
+		inv[v] = k
+	}
+	return inv, true
+}
+
+// Pair couples a source subtree path with the destination subtree path it is
+// mapped onto. Paths are relative to the complex objects' roots ("" denotes
+// the roots themselves).
+type Pair struct {
+	A, B string
+}
+
+// Stats records the cost of an s-compatibility search, for the matching
+// benchmarks ("calculating α over several levels of nesting may be costly in
+// practice").
+type Stats struct {
+	// NodesVisited counts compatibility checks on node pairs.
+	NodesVisited int
+	// Backtracks counts abandoned partial assignments.
+	Backtracks int
+}
+
+// MatchOptions tunes the s-compatibility search.
+type MatchOptions struct {
+	// Heuristic enables the signature/name pre-matching that avoids
+	// combinatorial explosion on wide trees.
+	Heuristic bool
+	// MaxVisits aborts the search after this many node-pair checks
+	// (0 = unlimited).
+	MaxVisits int
+}
+
+// SCompatible decides whether complex objects a and b are structurally
+// compatible: a one-to-one mapping α between their components such that
+// primitives map to directly compatible primitives and containers map to
+// s-compatible containers. On success it returns the component pairing.
+func (k *Checker) SCompatible(a, b widget.TreeState, opts MatchOptions) ([]Pair, bool, Stats) {
+	m := &matcher{k: k, opts: opts}
+	pairs, ok := m.match(a, b, "", "")
+	if m.aborted {
+		return nil, false, m.stats
+	}
+	if !ok {
+		return nil, false, m.stats
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].A < pairs[j].A })
+	return pairs, true, m.stats
+}
+
+type matcher struct {
+	k       *Checker
+	opts    MatchOptions
+	stats   Stats
+	aborted bool
+}
+
+func (m *matcher) visit() bool {
+	m.stats.NodesVisited++
+	if m.opts.MaxVisits > 0 && m.stats.NodesVisited > m.opts.MaxVisits {
+		m.aborted = true
+		return false
+	}
+	return true
+}
+
+// match returns the pairing of the subtrees rooted at a and b, or false.
+func (m *matcher) match(a, b widget.TreeState, pathA, pathB string) ([]Pair, bool) {
+	if !m.visit() {
+		return nil, false
+	}
+	if _, ok := m.k.Direct(a.Class, b.Class); !ok {
+		return nil, false
+	}
+	pairs := []Pair{{A: pathA, B: pathB}}
+	if len(a.Children) == 0 && len(b.Children) == 0 {
+		return pairs, true
+	}
+	if len(a.Children) != len(b.Children) {
+		return nil, false
+	}
+	var childPairs []Pair
+	var ok bool
+	if m.opts.Heuristic {
+		childPairs, ok = m.matchChildrenHeuristic(a, b, pathA, pathB)
+	} else {
+		childPairs, ok = m.matchChildrenBacktrack(a, b, pathA, pathB)
+	}
+	if !ok {
+		return nil, false
+	}
+	return append(pairs, childPairs...), true
+}
+
+// matchChildrenBacktrack searches all one-to-one child assignments.
+func (m *matcher) matchChildrenBacktrack(a, b widget.TreeState, pathA, pathB string) ([]Pair, bool) {
+	n := len(a.Children)
+	used := make([]bool, n)
+	assigned := make([][]Pair, n)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if m.aborted {
+			return false
+		}
+		if i == n {
+			return true
+		}
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			sub, ok := m.match(a.Children[i], b.Children[j],
+				childPath(pathA, a.Children[i].Name), childPath(pathB, b.Children[j].Name))
+			if ok {
+				used[j] = true
+				assigned[i] = sub
+				if rec(i + 1) {
+					return true
+				}
+				used[j] = false
+				m.stats.Backtracks++
+			}
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, false
+	}
+	var out []Pair
+	for _, sub := range assigned {
+		out = append(out, sub...)
+	}
+	return out, true
+}
+
+// matchChildrenHeuristic avoids exponential search: children are first
+// paired by identical name, then the remainder is grouped by structural
+// signature and paired within groups in order. This finds a valid mapping
+// whenever names or signatures disambiguate — the common case for generated
+// UIs — at near-linear cost. It may miss exotic mappings that only full
+// backtracking finds.
+func (m *matcher) matchChildrenHeuristic(a, b widget.TreeState, pathA, pathB string) ([]Pair, bool) {
+	n := len(a.Children)
+	assignment := make([]int, n)
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	usedB := make([]bool, n)
+
+	// Pass 1: exact-name matches.
+	byName := make(map[string]int, n)
+	for j, c := range b.Children {
+		byName[c.Name] = j
+	}
+	for i, c := range a.Children {
+		if j, ok := byName[c.Name]; ok && !usedB[j] {
+			assignment[i] = j
+			usedB[j] = true
+		}
+	}
+	// Pass 2: group remaining children by signature, pair in order.
+	groupB := make(map[string][]int)
+	for j := range b.Children {
+		if !usedB[j] {
+			sig := signature(b.Children[j])
+			groupB[sig] = append(groupB[sig], j)
+		}
+	}
+	for i := range a.Children {
+		if assignment[i] >= 0 {
+			continue
+		}
+		sig := signature(a.Children[i])
+		cands := groupB[sig]
+		if len(cands) == 0 {
+			return nil, false
+		}
+		assignment[i] = cands[0]
+		usedB[cands[0]] = true
+		groupB[sig] = cands[1:]
+	}
+	// Verify the assignment recursively.
+	var out []Pair
+	for i, j := range assignment {
+		sub, ok := m.match(a.Children[i], b.Children[j],
+			childPath(pathA, a.Children[i].Name), childPath(pathB, b.Children[j].Name))
+		if !ok {
+			return nil, false
+		}
+		out = append(out, sub...)
+	}
+	return out, true
+}
+
+// signature summarizes a subtree's shape: the class plus the sorted
+// signatures of its children. Two subtrees with equal signatures have
+// identical class structure.
+func signature(ts widget.TreeState) string {
+	if len(ts.Children) == 0 {
+		return ts.Class
+	}
+	parts := make([]string, len(ts.Children))
+	for i, c := range ts.Children {
+		parts[i] = signature(c)
+	}
+	sort.Strings(parts)
+	return ts.Class + "(" + strings.Join(parts, ",") + ")"
+}
+
+func childPath(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "/" + name
+}
+
+// DestructiveMerge makes the live subtree at dstPath structurally identical
+// to src, then applies src's attributes: "Not only the attribute values, but
+// also the structure of the dominating complex object is copied to the
+// dominated object. Copying structure includes destroying objects of the
+// dominated complex object if they conflict ... and creating objects if they
+// do not exist."
+//
+// It returns the numbers of destroyed and created widgets.
+func DestructiveMerge(reg *widget.Registry, dstPath string, src widget.TreeState) (destroyed, created int, err error) {
+	dst, err := reg.Lookup(dstPath)
+	if err != nil {
+		return 0, 0, err
+	}
+	if dst.Class().Name != src.Class {
+		return 0, 0, fmt.Errorf("compat: destructive merge cannot change the root class (%s vs %s)",
+			dst.Class().Name, src.Class)
+	}
+	return mergeInto(reg, dst, src, true)
+}
+
+// FlexibleMatch copies src into the live subtree at dstPath conserving
+// differing substructures: matching children (same name and class) are
+// synchronized recursively, src-only children are created, dst-only children
+// are kept ("Differing substructures are conserved by merging").
+//
+// It returns the numbers of matched and created widgets.
+func FlexibleMatch(reg *widget.Registry, dstPath string, src widget.TreeState) (matched, created int, err error) {
+	dst, err := reg.Lookup(dstPath)
+	if err != nil {
+		return 0, 0, err
+	}
+	if dst.Class().Name != src.Class {
+		return 0, 0, fmt.Errorf("compat: flexible match requires equal root classes (%s vs %s)",
+			dst.Class().Name, src.Class)
+	}
+	d, c, err := mergeInto(reg, dst, src, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	if d != 0 {
+		return 0, 0, fmt.Errorf("compat: internal: flexible match destroyed %d widgets", d)
+	}
+	// matched = all nodes of src minus the created ones.
+	return src.CountNodes() - c, c, nil
+}
+
+// mergeInto applies src onto dst. In destructive mode, conflicting and
+// surplus destination children are destroyed; otherwise they are conserved.
+func mergeInto(reg *widget.Registry, dst *widget.Widget, src widget.TreeState, destructive bool) (destroyed, created int, err error) {
+	dst.ApplyState(src.Attrs)
+	srcByName := make(map[string]widget.TreeState, len(src.Children))
+	for _, c := range src.Children {
+		srcByName[c.Name] = c
+	}
+	// Handle existing destination children.
+	for _, child := range dst.Children() {
+		sc, ok := srcByName[child.Name()]
+		switch {
+		case ok && sc.Class == child.Class().Name:
+			d, c, err := mergeInto(reg, child, sc, destructive)
+			if err != nil {
+				return destroyed, created, err
+			}
+			destroyed += d
+			created += c
+			delete(srcByName, child.Name())
+		case destructive:
+			// Conflicting class or absent from src: destroy.
+			n := countSubtree(child)
+			if err := reg.Destroy(child.Path()); err != nil {
+				return destroyed, created, err
+			}
+			destroyed += n
+			if ok && sc.Class != child.Class().Name {
+				// Recreate below with the dominating structure.
+				continue
+			}
+		case ok:
+			// Non-destructive with a class conflict: conserve the existing
+			// child, do not create a duplicate.
+			delete(srcByName, child.Name())
+		}
+	}
+	// Create children that are still missing, in src order for determinism.
+	for _, sc := range src.Children {
+		if _, pending := srcByName[sc.Name]; !pending {
+			continue
+		}
+		if dst.Child(sc.Name) != nil {
+			continue
+		}
+		w, err := reg.BuildTree(dst.Path(), sc.Name, sc)
+		if err != nil {
+			return destroyed, created, err
+		}
+		created += countSubtree(w)
+	}
+	return destroyed, created, nil
+}
+
+func countSubtree(w *widget.Widget) int {
+	n := 1
+	for _, c := range w.Children() {
+		n += countSubtree(c)
+	}
+	return n
+}

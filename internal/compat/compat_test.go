@@ -1,0 +1,381 @@
+package compat
+
+import (
+	"fmt"
+	"testing"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/widget"
+)
+
+func newChecker(t testing.TB) *Checker {
+	t.Helper()
+	return NewChecker(widget.NewClassRegistry(), NewCorrespondences())
+}
+
+func TestDirectSameClass(t *testing.T) {
+	k := newChecker(t)
+	m, ok := k.Direct("textfield", "textfield")
+	if !ok {
+		t.Fatal("same class must be compatible")
+	}
+	if m[widget.AttrValue] != widget.AttrValue {
+		t.Errorf("mapping = %v", m)
+	}
+	if _, ok := k.Direct("nosuch", "nosuch"); ok {
+		t.Error("unknown class must be incompatible")
+	}
+}
+
+func TestDirectDifferentClassesNeedCorrespondence(t *testing.T) {
+	k := newChecker(t)
+	if _, ok := k.Direct("textfield", "label"); ok {
+		t.Fatal("no correspondence declared, must be incompatible")
+	}
+	// textfield's relevant attr "value" corresponds to label's "label".
+	k.corr.Declare("textfield", "label", map[string]string{widget.AttrValue: widget.AttrLabel})
+	m, ok := k.Direct("textfield", "label")
+	if !ok {
+		t.Fatal("declared correspondence must make classes compatible")
+	}
+	if m[widget.AttrValue] != widget.AttrLabel {
+		t.Errorf("mapping = %v", m)
+	}
+	// Reverse direction uses the inverse automatically (label's relevant
+	// attr "label" is covered by the inverse).
+	m, ok = k.Direct("label", "textfield")
+	if !ok {
+		t.Fatal("inverse correspondence must apply")
+	}
+	if m[widget.AttrLabel] != widget.AttrValue {
+		t.Errorf("inverse mapping = %v", m)
+	}
+}
+
+func TestDirectIncompleteCorrespondence(t *testing.T) {
+	k := newChecker(t)
+	// menu has two relevant attrs (items, selection); mapping only one is
+	// insufficient.
+	k.corr.Declare("menu", "list", map[string]string{widget.AttrSelection: widget.AttrSelection})
+	if _, ok := k.Direct("menu", "list"); ok {
+		t.Error("incomplete correspondence must be rejected")
+	}
+	k.corr.Declare("menu", "list", map[string]string{
+		widget.AttrSelection: widget.AttrSelection,
+		widget.AttrItems:     widget.AttrItems,
+	})
+	if _, ok := k.Direct("menu", "list"); !ok {
+		t.Error("complete correspondence must be accepted")
+	}
+}
+
+func TestDirectNonInvertibleCorrespondence(t *testing.T) {
+	k := newChecker(t)
+	// Two attributes of scale map to the same attribute of textfield: the
+	// correspondence cannot be inverted for the reverse direction.
+	k.corr.Declare("scale", "textfield", map[string]string{
+		widget.AttrPosition: widget.AttrValue,
+		widget.AttrMin:      widget.AttrValue,
+	})
+	if _, ok := k.Direct("scale", "textfield"); !ok {
+		t.Error("forward direction covers scale's relevant attr")
+	}
+	if _, ok := k.Direct("textfield", "scale"); ok {
+		t.Error("non-invertible mapping must not apply in reverse")
+	}
+}
+
+func TestTranslateState(t *testing.T) {
+	s := attr.Set{"value": attr.String("x"), "extra": attr.Int(1)}
+	out := TranslateState(s, map[string]string{"value": "label"})
+	if len(out) != 1 || out.Get("label").AsString() != "x" {
+		t.Errorf("TranslateState = %v", out)
+	}
+}
+
+func ts(class, name string, children ...widget.TreeState) widget.TreeState {
+	return widget.TreeState{Class: class, Name: name, Attrs: attr.NewSet(), Children: children}
+}
+
+func TestSCompatibleIdenticalStructure(t *testing.T) {
+	k := newChecker(t)
+	a := ts("form", "q",
+		ts("textfield", "author"),
+		ts("menu", "op"),
+		ts("button", "go"))
+	b := ts("form", "q2",
+		ts("textfield", "writer"),
+		ts("menu", "operator"),
+		ts("button", "submit"))
+	for _, heuristic := range []bool{false, true} {
+		pairs, ok, _ := k.SCompatible(a, b, MatchOptions{Heuristic: heuristic})
+		if !ok {
+			t.Fatalf("heuristic=%v: must be s-compatible", heuristic)
+		}
+		if len(pairs) != 4 {
+			t.Errorf("heuristic=%v: pairs = %v", heuristic, pairs)
+		}
+		// Root pair present.
+		if pairs[0].A != "" || pairs[0].B != "" {
+			t.Errorf("heuristic=%v: first pair = %v", heuristic, pairs[0])
+		}
+	}
+}
+
+func TestSCompatibleMappingIsBijection(t *testing.T) {
+	k := newChecker(t)
+	a := ts("form", "f",
+		ts("textfield", "x1"), ts("textfield", "x2"), ts("button", "b1"))
+	b := ts("form", "g",
+		ts("button", "c1"), ts("textfield", "y1"), ts("textfield", "y2"))
+	for _, heuristic := range []bool{false, true} {
+		pairs, ok, _ := k.SCompatible(a, b, MatchOptions{Heuristic: heuristic})
+		if !ok {
+			t.Fatalf("heuristic=%v: must match", heuristic)
+		}
+		seenA, seenB := map[string]bool{}, map[string]bool{}
+		for _, p := range pairs {
+			if seenA[p.A] || seenB[p.B] {
+				t.Fatalf("heuristic=%v: mapping not one-to-one: %v", heuristic, pairs)
+			}
+			seenA[p.A], seenB[p.B] = true, true
+		}
+	}
+}
+
+func TestSCompatibleRejectsStructuralMismatch(t *testing.T) {
+	k := newChecker(t)
+	cases := []struct {
+		name string
+		a, b widget.TreeState
+	}{
+		{"different counts", ts("form", "f", ts("button", "b")), ts("form", "g")},
+		{"different classes", ts("form", "f", ts("button", "b")), ts("form", "g", ts("menu", "m"))},
+		{"incompatible roots", ts("form", "f"), ts("canvas", "c")},
+		{"nested mismatch",
+			ts("form", "f", ts("form", "inner", ts("button", "b"))),
+			ts("form", "g", ts("form", "inner", ts("menu", "m")))},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, heuristic := range []bool{false, true} {
+				if _, ok, _ := k.SCompatible(c.a, c.b, MatchOptions{Heuristic: heuristic}); ok {
+					t.Errorf("heuristic=%v: must reject", heuristic)
+				}
+			}
+		})
+	}
+}
+
+func TestSCompatibleWithCorrespondence(t *testing.T) {
+	k := newChecker(t)
+	k.corr.Declare("textfield", "label", map[string]string{widget.AttrValue: widget.AttrLabel})
+	a := ts("form", "f", ts("textfield", "x"))
+	b := ts("form", "g", ts("label", "y"))
+	if _, ok, _ := k.SCompatible(a, b, MatchOptions{}); !ok {
+		t.Error("correspondence must extend to s-compatibility")
+	}
+}
+
+// wideTree builds a container with n structurally identical children whose
+// only valid assignments are the n! permutations.
+func wideTree(n, depth int) widget.TreeState {
+	root := ts("form", "root")
+	for i := 0; i < n; i++ {
+		c := ts("form", fmt.Sprintf("a%d", i))
+		cur := &c
+		for d := 0; d < depth; d++ {
+			child := ts("form", fmt.Sprintf("n%d", d), ts("button", "leaf"))
+			cur.Children = append(cur.Children, child)
+			cur = &cur.Children[len(cur.Children)-1]
+		}
+		root.Children = append(root.Children, c)
+	}
+	return root
+}
+
+func TestHeuristicCheaperThanBacktracking(t *testing.T) {
+	k := newChecker(t)
+	a, b := wideTree(6, 2), wideTree(6, 2)
+	// Rename b's children so name matching cannot shortcut.
+	for i := range b.Children {
+		b.Children[i].Name = fmt.Sprintf("z%d", i)
+	}
+	_, ok, naive := k.SCompatible(a, b, MatchOptions{Heuristic: false})
+	if !ok {
+		t.Fatal("naive must match")
+	}
+	_, ok, heur := k.SCompatible(a, b, MatchOptions{Heuristic: true})
+	if !ok {
+		t.Fatal("heuristic must match")
+	}
+	if heur.NodesVisited > naive.NodesVisited {
+		t.Errorf("heuristic visited %d nodes, naive %d", heur.NodesVisited, naive.NodesVisited)
+	}
+}
+
+func TestMatchBudget(t *testing.T) {
+	k := newChecker(t)
+	a, b := wideTree(8, 1), wideTree(8, 1)
+	_, ok, stats := k.SCompatible(a, b, MatchOptions{MaxVisits: 5})
+	if ok {
+		t.Error("budget exhaustion must report failure")
+	}
+	if stats.NodesVisited < 5 {
+		t.Errorf("visited = %d", stats.NodesVisited)
+	}
+}
+
+func buildLive(t *testing.T, spec string) *widget.Registry {
+	t.Helper()
+	r := widget.NewRegistry()
+	widget.MustBuild(r, "/", spec)
+	return r
+}
+
+func TestDestructiveMerge(t *testing.T) {
+	r := buildLive(t, `form panel title="old"
+  textfield keep value="local"
+  button conflictme label="B"
+  label surplus label="gone"`)
+	src := widget.TreeState{Class: "form", Name: "panel",
+		Attrs: attr.Set{widget.AttrTitle: attr.String("new")},
+		Children: []widget.TreeState{
+			{Class: "textfield", Name: "keep", Attrs: attr.Set{widget.AttrValue: attr.String("remote")}},
+			{Class: "menu", Name: "conflictme", Attrs: attr.Set{widget.AttrSelection: attr.String("x")}},
+			{Class: "button", Name: "created", Attrs: attr.Set{widget.AttrLabel: attr.String("new")}},
+		}}
+	destroyed, created, err := DestructiveMerge(r, "/panel", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if destroyed != 2 { // conflictme (class change) + surplus
+		t.Errorf("destroyed = %d, want 2", destroyed)
+	}
+	if created != 2 { // conflictme recreated as menu + created
+		t.Errorf("created = %d, want 2", created)
+	}
+	// Structure now identical to src.
+	got, err := r.CaptureTree("/panel", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Children) != 3 {
+		t.Fatalf("children = %d", len(got.Children))
+	}
+	w, err := r.Lookup("/panel/conflictme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Class().Name != "menu" {
+		t.Errorf("conflictme class = %s", w.Class().Name)
+	}
+	if v, _ := r.Lookup("/panel/keep"); v.Attr(widget.AttrValue).AsString() != "remote" {
+		t.Error("matched child attrs not applied")
+	}
+	if _, err := r.Lookup("/panel/surplus"); err == nil {
+		t.Error("surplus child must be destroyed")
+	}
+	if v, _ := r.Lookup("/panel"); v.Attr(widget.AttrTitle).AsString() != "new" {
+		t.Error("root attrs not applied")
+	}
+}
+
+func TestDestructiveMergeRootClassMismatch(t *testing.T) {
+	r := buildLive(t, "form panel")
+	if _, _, err := DestructiveMerge(r, "/panel", ts("canvas", "x")); err == nil {
+		t.Error("root class change must fail")
+	}
+	if _, _, err := DestructiveMerge(r, "/missing", ts("form", "x")); err == nil {
+		t.Error("missing destination must fail")
+	}
+}
+
+func TestFlexibleMatchConserves(t *testing.T) {
+	r := buildLive(t, `form panel
+  textfield shared value="local"
+  label private label="mine"`)
+	src := widget.TreeState{Class: "form", Name: "panel", Attrs: attr.NewSet(),
+		Children: []widget.TreeState{
+			{Class: "textfield", Name: "shared", Attrs: attr.Set{widget.AttrValue: attr.String("remote")}},
+			{Class: "button", Name: "extra", Attrs: attr.Set{widget.AttrLabel: attr.String("E")}},
+		}}
+	matched, created, err := FlexibleMatch(r, "/panel", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != 2 { // panel + shared
+		t.Errorf("matched = %d, want 2", matched)
+	}
+	if created != 1 { // extra
+		t.Errorf("created = %d, want 1", created)
+	}
+	// Conserved: private still present.
+	if _, err := r.Lookup("/panel/private"); err != nil {
+		t.Error("differing substructure must be conserved")
+	}
+	if w, _ := r.Lookup("/panel/shared"); w.Attr(widget.AttrValue).AsString() != "remote" {
+		t.Error("identical substructure must be synchronized")
+	}
+	if _, err := r.Lookup("/panel/extra"); err != nil {
+		t.Error("src-only substructure must be merged in")
+	}
+}
+
+func TestFlexibleMatchClassConflictConserved(t *testing.T) {
+	r := buildLive(t, `form panel
+  button clash label="B"`)
+	src := widget.TreeState{Class: "form", Name: "panel", Attrs: attr.NewSet(),
+		Children: []widget.TreeState{
+			{Class: "menu", Name: "clash", Attrs: attr.NewSet()},
+		}}
+	_, created, err := FlexibleMatch(r, "/panel", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created != 0 {
+		t.Errorf("created = %d, want 0 (conflict conserved)", created)
+	}
+	w, err := r.Lookup("/panel/clash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Class().Name != "button" {
+		t.Error("existing child must be conserved on class conflict")
+	}
+}
+
+func TestSignature(t *testing.T) {
+	a := ts("form", "x", ts("button", "b"), ts("menu", "m"))
+	b := ts("form", "y", ts("menu", "q"), ts("button", "c"))
+	if signature(a) != signature(b) {
+		t.Error("signature must be order-independent")
+	}
+	c := ts("form", "z", ts("button", "b"), ts("button", "c"))
+	if signature(a) == signature(c) {
+		t.Error("different class multisets must differ")
+	}
+}
+
+func BenchmarkSCompatNaive(b *testing.B) {
+	benchSCompat(b, false)
+}
+
+func BenchmarkSCompatHeuristic(b *testing.B) {
+	benchSCompat(b, true)
+}
+
+func benchSCompat(b *testing.B, heuristic bool) {
+	k := NewChecker(widget.NewClassRegistry(), NewCorrespondences())
+	a, t2 := wideTree(5, 3), wideTree(5, 3)
+	for i := range t2.Children {
+		t2.Children[i].Name = fmt.Sprintf("z%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _ := k.SCompatible(a, t2, MatchOptions{Heuristic: heuristic}); !ok {
+			b.Fatal("must match")
+		}
+	}
+}

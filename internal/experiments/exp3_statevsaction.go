@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/client"
+	"cosoft/internal/replay"
+	"cosoft/internal/server"
+	"cosoft/internal/widget"
+)
+
+// StateVsActionRow compares re-synchronization strategies after a decoupled
+// period of N missed actions (§3.1): naive action replay, compacted replay,
+// and the single state copy the paper chose.
+type StateVsActionRow struct {
+	MissedActions int
+	ReplayTime    time.Duration
+	ReplayMsgs    int64
+	CompactTime   time.Duration
+	CompactMsgs   int64
+	CompactEvents int // events surviving compaction
+	StateCopyTime time.Duration
+	StateCopyMsgs int64
+}
+
+// StateVsAction measures the three strategies for each decoupled-period
+// length. The scenario: two instances share a textfield; instance A keeps
+// editing while B is decoupled; afterwards B must reach A's state.
+func StateVsAction(missed []int) ([]StateVsActionRow, error) {
+	var rows []StateVsActionRow
+	for _, n := range missed {
+		row := StateVsActionRow{MissedActions: n}
+
+		// Record A's actions during the decoupled period once.
+		log := replay.NewLog(0)
+		for i := 0; i < n; i++ {
+			log.Record(&widget.Event{Path: "/field", Name: widget.EventChanged,
+				Args: []attr.Value{attr.String(fmt.Sprintf("edit-%d", i))}})
+		}
+		final := fmt.Sprintf("edit-%d", n-1)
+
+		// Strategy 1: naive replay of every action through the coupled
+		// group.
+		t, msgs, err := runReplayStrategy(log, final)
+		if err != nil {
+			return nil, fmt.Errorf("replay(%d): %w", n, err)
+		}
+		row.ReplayTime, row.ReplayMsgs = t, msgs
+
+		// Strategy 2: compacted replay.
+		compacted := replay.NewLog(0)
+		for _, e := range log.Events() {
+			e := e
+			compacted.Record(&e)
+		}
+		compacted.Compact()
+		row.CompactEvents = compacted.Len()
+		t, msgs, err = runReplayStrategy(compacted, final)
+		if err != nil {
+			return nil, fmt.Errorf("compact(%d): %w", n, err)
+		}
+		row.CompactTime, row.CompactMsgs = t, msgs
+
+		// Strategy 3: one synchronization by state.
+		t, msgs, err = runStateCopyStrategy(final)
+		if err != nil {
+			return nil, fmt.Errorf("statecopy(%d): %w", n, err)
+		}
+		row.StateCopyTime, row.StateCopyMsgs = t, msgs
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runReplayStrategy sets up a fresh coupled pair, replays the log from A,
+// and waits until B holds the final value.
+func runReplayStrategy(log *replay.Log, final string) (time.Duration, int64, error) {
+	cl, err := NewCluster(2, fieldSpec, 0, server.Options{}, client.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+	if err := cl.DeclareAll("/field"); err != nil {
+		return 0, 0, err
+	}
+	if err := cl.CoupleStar("/field"); err != nil {
+		return 0, 0, err
+	}
+	a := cl.Clients[0]
+	before := cl.TotalMessages()
+	start := time.Now()
+	if _, err := log.Replay(func(e *widget.Event) error {
+		_, err := DispatchRetry(a, e)
+		return err
+	}); err != nil {
+		return 0, 0, err
+	}
+	if err := cl.WaitValue("/field", widget.AttrValue, final); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), cl.TotalMessages() - before, nil
+}
+
+// runStateCopyStrategy sets up a fresh pair where A already holds the final
+// state, then performs one CopyTo.
+func runStateCopyStrategy(final string) (time.Duration, int64, error) {
+	cl, err := NewCluster(2, fieldSpec, 0, server.Options{}, client.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+	if err := cl.DeclareAll("/field"); err != nil {
+		return 0, 0, err
+	}
+	a, b := cl.Clients[0], cl.Clients[1]
+	w, err := a.Registry().Lookup("/field")
+	if err != nil {
+		return 0, 0, err
+	}
+	w.SetAttr(widget.AttrValue, attr.String(final))
+	before := cl.TotalMessages()
+	start := time.Now()
+	if err := a.CopyTo("/field", b.Ref("/field"), false); err != nil {
+		return 0, 0, err
+	}
+	if err := waitValue(b, "/field", widget.AttrValue, final); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), cl.TotalMessages() - before, nil
+}

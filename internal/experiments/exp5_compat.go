@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/compat"
+	"cosoft/internal/widget"
+)
+
+// CompatRow measures the s-compatibility mapping search at one tree shape
+// (§3.3: "calculating α over several levels of nesting may be costly in
+// practice ... certain heuristics have to be used to avoid combinatorial
+// explosion").
+type CompatRow struct {
+	Fanout int
+	Depth  int
+	Nodes  int
+	// Naive backtracking search.
+	NaiveVisits int
+	NaiveTime   time.Duration
+	NaiveOK     bool
+	// Heuristic (signature/name) search.
+	HeurVisits int
+	HeurTime   time.Duration
+	HeurOK     bool
+}
+
+// CompatMatching sweeps tree shapes and measures both matchers. Trees are
+// built with structurally identical, anonymously named children so the
+// matcher cannot shortcut by name.
+func CompatMatching(fanouts, depths []int) ([]CompatRow, error) {
+	checker := compat.NewChecker(widget.NewClassRegistry(), compat.NewCorrespondences())
+	var rows []CompatRow
+	for _, fanout := range fanouts {
+		for _, depth := range depths {
+			a := buildMatchTree(fanout, depth, "a")
+			b := buildMatchTree(fanout, depth, "b")
+			row := CompatRow{Fanout: fanout, Depth: depth, Nodes: a.CountNodes()}
+
+			start := time.Now()
+			_, ok, stats := checker.SCompatible(a, b, compat.MatchOptions{
+				Heuristic: false,
+				// A budget keeps the worst cases bounded; hitting it is
+				// itself the experiment's finding.
+				MaxVisits: 2_000_000,
+			})
+			row.NaiveTime = time.Since(start)
+			row.NaiveVisits = stats.NodesVisited
+			row.NaiveOK = ok
+
+			start = time.Now()
+			_, ok, stats = checker.SCompatible(b, a, compat.MatchOptions{Heuristic: true})
+			row.HeurTime = time.Since(start)
+			row.HeurVisits = stats.NodesVisited
+			row.HeurOK = ok
+			if !row.HeurOK {
+				return nil, fmt.Errorf("experiments: heuristic failed on fanout=%d depth=%d", fanout, depth)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// buildMatchTree makes a container of `fanout` subtrees where child i is a
+// chain of depth depth+i: exactly one bijection exists, names never help
+// (they differ between the trees), and a wrong pairing is only discovered
+// after descending min(i,j) levels. The "b" tree lists its children in
+// reverse, so a first-fit matcher pairs the shortest against the longest
+// first and repeatedly probes deep before failing — the paper's "costly in
+// practice" case.
+func buildMatchTree(fanout, depth int, prefix string) widget.TreeState {
+	root := widget.TreeState{Class: "form", Name: prefix + "root", Attrs: attr.NewSet()}
+	for i := 0; i < fanout; i++ {
+		root.Children = append(root.Children, buildMatchChain(depth+i, fmt.Sprintf("%s%d", prefix, i)))
+	}
+	if prefix == "b" {
+		for i, j := 0, len(root.Children)-1; i < j; i, j = i+1, j-1 {
+			root.Children[i], root.Children[j] = root.Children[j], root.Children[i]
+		}
+	}
+	return root
+}
+
+func buildMatchChain(depth int, name string) widget.TreeState {
+	node := widget.TreeState{Class: "form", Name: name, Attrs: attr.NewSet()}
+	if depth == 0 {
+		node.Class = "button"
+		return node
+	}
+	node.Children = []widget.TreeState{
+		buildMatchChain(depth-1, name+"l"),
+		{Class: "textfield", Name: name + "t", Attrs: attr.NewSet()},
+	}
+	return node
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cosoft/internal/db"
+	"cosoft/internal/tori"
+)
+
+// TORIRow compares the two ways of sharing retrieval results between N
+// coupled TORI users (§4): re-executing the query in every environment
+// (what coupling the query form gives for free) versus evaluating once and
+// shipping the result rows ("one might argue that it would be preferable to
+// evaluate the query once and share the results. But this goes beyond a
+// simple sharing of UI objects").
+type TORIRow struct {
+	DBRows int
+	Users  int
+	// ReexecTime is the total compute cost of N independent evaluations.
+	ReexecTime time.Duration
+	// ShareTime is one evaluation plus serializing the result set N-1
+	// times (the transfer the share-results design would pay).
+	ShareTime time.Duration
+	// ResultBytes is the encoded size of one result set.
+	ResultBytes int
+	// DivergentOK reports the flexibility check: with re-execution, one
+	// user's query can differ (different predicate) and still work — the
+	// share-results design cannot express this.
+	DivergentOK bool
+}
+
+// TORIQueryCoupling sweeps database sizes for a fixed population.
+func TORIQueryCoupling(dbRows []int, users int) ([]TORIRow, error) {
+	var rows []TORIRow
+	for _, n := range dbRows {
+		row := TORIRow{DBRows: n, Users: users}
+
+		// Build one TORI app per user, each with its own database copy
+		// (fully replicated architecture).
+		apps := make([]*tori.App, users)
+		for i := range apps {
+			database, err := tori.Bibliography(n, 42)
+			if err != nil {
+				return nil, err
+			}
+			app, err := tori.New(database, tori.BibliographyDesc())
+			if err != nil {
+				return nil, err
+			}
+			apps[i] = app
+		}
+		// The shared query: substring scan (no index help) so cost scales
+		// with the database size.
+		for _, app := range apps {
+			if err := app.SetField("title", "Systems"); err != nil {
+				return nil, err
+			}
+			if err := app.SetOp("title", db.OpSubstring); err != nil {
+				return nil, err
+			}
+		}
+
+		// Re-execution: every environment evaluates.
+		start := time.Now()
+		for _, app := range apps {
+			if err := app.Submit(); err != nil {
+				return nil, err
+			}
+		}
+		row.ReexecTime = time.Since(start)
+
+		// Share-results: evaluate once, then serialize the result set for
+		// each of the other users (the minimum a result-shipping design
+		// pays; decoding and display are charged to the receiver the same
+		// way re-execution charges display locally).
+		q := db.Query{Table: "pubs",
+			Where: []db.Predicate{{Column: "title", Op: db.OpSubstring, Value: "Systems"}},
+			Limit: 100}
+		start = time.Now()
+		res, err := apps[0].Database().Run(q)
+		if err != nil {
+			return nil, err
+		}
+		encoded := encodeResult(res)
+		row.ResultBytes = len(encoded)
+		for i := 1; i < users; i++ {
+			_ = encodeResult(res) // one serialization per receiver
+		}
+		row.ShareTime = time.Since(start)
+
+		// Divergence check: user 1 narrows its own copy of the query (adds
+		// an author predicate) and re-executes locally — valid under
+		// multiple evaluation, inexpressible under share-results.
+		if err := apps[1].SelectView("all"); err != nil {
+			return nil, err
+		}
+		if err := apps[1].SetField("author", "lamport"); err != nil {
+			return nil, err
+		}
+		if err := apps[1].Submit(); err != nil {
+			return nil, err
+		}
+		row.DivergentOK = true
+		for _, r := range apps[1].ResultRows() {
+			if len(r) == 0 {
+				row.DivergentOK = false
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// encodeResult renders a result set to its wire-size text form.
+func encodeResult(res db.Result) []byte {
+	size := 0
+	for _, row := range res.Rows {
+		for _, cell := range row {
+			size += len(cell) + 1
+		}
+	}
+	buf := make([]byte, 0, size)
+	for _, row := range res.Rows {
+		for _, cell := range row {
+			buf = append(buf, cell...)
+			buf = append(buf, '|')
+		}
+	}
+	return buf
+}
+
+var _ = fmt.Sprintf // keep fmt for future rows formatting

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/classroom"
+	"cosoft/internal/client"
+	"cosoft/internal/server"
+	"cosoft/internal/widget"
+)
+
+// IndirectRow compares direct coupling of a dependent object (the rendered
+// function display) against indirect coupling of its parameter field (§4:
+// "partial coupling can be very efficient since it allows for indirect
+// coupling ... For these dependent objects, direct coupling might be much
+// more costly").
+type IndirectRow struct {
+	DisplayPoints int
+	// Direct: the canvas itself is coupled; each update ships the points.
+	DirectTime  time.Duration
+	DirectBytes int64
+	// Indirect: only the term field is coupled; each environment
+	// regenerates the display locally.
+	IndirectTime  time.Duration
+	IndirectBytes int64
+}
+
+// IndirectCoupling sweeps the dependent display's size. Each trial performs
+// one teacher update and waits until the student side holds the result.
+func IndirectCoupling(points []int) ([]IndirectRow, error) {
+	var rows []IndirectRow
+	for _, m := range points {
+		direct, dbytes, err := runDirectCoupling(m)
+		if err != nil {
+			return nil, fmt.Errorf("direct(%d): %w", m, err)
+		}
+		indirect, ibytes, err := runIndirectCoupling(m)
+		if err != nil {
+			return nil, fmt.Errorf("indirect(%d): %w", m, err)
+		}
+		rows = append(rows, IndirectRow{
+			DisplayPoints: m,
+			DirectTime:    direct, DirectBytes: dbytes,
+			IndirectTime: indirect, IndirectBytes: ibytes,
+		})
+	}
+	return rows, nil
+}
+
+// runDirectCoupling couples the canvases and ships one draw event carrying
+// the full m-point rendering.
+func runDirectCoupling(m int) (time.Duration, int64, error) {
+	cl, err := NewCluster(2, `canvas display width=640 height=400`, 0,
+		server.Options{}, client.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+	if err := cl.DeclareAll("/display"); err != nil {
+		return 0, 0, err
+	}
+	if err := cl.CoupleStar("/display"); err != nil {
+		return 0, 0, err
+	}
+	stroke := make([]attr.Point, m)
+	for i := range stroke {
+		stroke[i] = attr.Point{X: int32(i), Y: int32(i % 400)}
+	}
+	before := cl.TotalBytes()
+	start := time.Now()
+	if err := cl.Clients[0].DispatchChecked(&widget.Event{
+		Path: "/display", Name: widget.EventDraw,
+		Args: []attr.Value{attr.PointList(stroke...)},
+	}); err != nil {
+		return 0, 0, err
+	}
+	// Wait until the student's canvas holds the stroke.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w, err := cl.Clients[1].Registry().Lookup("/display")
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(w.Attr(widget.AttrStrokes).AsPointList()) == m {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("direct coupling did not converge")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return time.Since(start), cl.TotalBytes() - before, nil
+}
+
+// runIndirectCoupling couples only the term fields; the displays regenerate
+// locally from the replicated term.
+func runIndirectCoupling(m int) (time.Duration, int64, error) {
+	spec := `form env title="env"
+  textfield term value="x"
+  canvas display width=640 height=400`
+	cl, err := NewCluster(2, spec, 0, server.Options{}, client.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+	// Wire local regeneration in both environments, at the requested
+	// resolution.
+	for _, cli := range cl.Clients {
+		reg := cli.Registry()
+		w, err := reg.Lookup("/env/term")
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := w.AddCallback(widget.EventChanged, func(e *widget.Event) {
+			classroom.RenderTerm(reg, "/env/display", e.Args[0].AsString(), m)
+		}); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := cl.DeclareAll("/env"); err != nil {
+		return 0, 0, err
+	}
+	if err := cl.Clients[0].Couple("/env/term", cl.Clients[1].Ref("/env/term")); err != nil {
+		return 0, 0, err
+	}
+	if err := cl.WaitCoupled("/env/term", 1); err != nil {
+		return 0, 0, err
+	}
+	before := cl.TotalBytes()
+	start := time.Now()
+	if err := cl.Clients[0].DispatchChecked(&widget.Event{
+		Path: "/env/term", Name: widget.EventChanged,
+		Args: []attr.Value{attr.String("2*x^2 - 3*x + 1")},
+	}); err != nil {
+		return 0, 0, err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w, err := cl.Clients[1].Registry().Lookup("/env/display")
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(w.Attr(widget.AttrStrokes).AsPointList()) == m {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("indirect coupling did not converge")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return time.Since(start), cl.TotalBytes() - before, nil
+}

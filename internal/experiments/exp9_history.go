@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/client"
+	"cosoft/internal/server"
+	"cosoft/internal/widget"
+)
+
+// HistoryRow measures the historical-UI-states facility (§2.1): cost of
+// recording overwritten states via copies, then walking the undo stack back
+// and forward.
+type HistoryRow struct {
+	Depth       int
+	RecordTime  time.Duration // N copies, each recording one backup
+	UndoAllTime time.Duration // N undos back to the original state
+	RedoAllTime time.Duration // N redos forward again
+	UndoCorrect bool          // state after undo-all equals the original
+	RedoCorrect bool          // state after redo-all equals the final copy
+}
+
+// HistoryWalk sweeps history depths.
+func HistoryWalk(depths []int) ([]HistoryRow, error) {
+	var rows []HistoryRow
+	for _, depth := range depths {
+		row, err := runHistoryWalk(depth)
+		if err != nil {
+			return nil, fmt.Errorf("history(%d): %w", depth, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runHistoryWalk(depth int) (HistoryRow, error) {
+	cl, err := NewCluster(2, fieldSpec, 0,
+		server.Options{HistoryDepth: depth + 1}, client.Options{})
+	if err != nil {
+		return HistoryRow{}, err
+	}
+	defer cl.Close()
+	if err := cl.DeclareAll("/field"); err != nil {
+		return HistoryRow{}, err
+	}
+	a, b := cl.Clients[0], cl.Clients[1]
+
+	// b starts at "original"; a overwrites it depth times by state copies —
+	// each overwrite lands in the historical database.
+	if err := b.DispatchChecked(&widget.Event{Path: "/field", Name: widget.EventChanged,
+		Args: []attr.Value{attr.String("original")}}); err != nil {
+		return HistoryRow{}, err
+	}
+	row := HistoryRow{Depth: depth}
+	start := time.Now()
+	for i := 0; i < depth; i++ {
+		if err := a.DispatchChecked(&widget.Event{Path: "/field", Name: widget.EventChanged,
+			Args: []attr.Value{attr.String(fmt.Sprintf("v%d", i))}}); err != nil {
+			return HistoryRow{}, err
+		}
+		if err := a.CopyTo("/field", b.Ref("/field"), false); err != nil {
+			return HistoryRow{}, err
+		}
+	}
+	final := fmt.Sprintf("v%d", depth-1)
+	if err := waitValue(b, "/field", widget.AttrValue, final); err != nil {
+		return HistoryRow{}, err
+	}
+	row.RecordTime = time.Since(start)
+
+	// Undo all the way back.
+	start = time.Now()
+	for i := 0; i < depth; i++ {
+		if err := b.Undo("/field"); err != nil {
+			return HistoryRow{}, err
+		}
+	}
+	if err := waitValue(b, "/field", widget.AttrValue, "original"); err != nil {
+		return HistoryRow{}, err
+	}
+	row.UndoAllTime = time.Since(start)
+	row.UndoCorrect = true
+
+	// Redo all the way forward.
+	start = time.Now()
+	for i := 0; i < depth; i++ {
+		if err := b.Redo("/field"); err != nil {
+			return HistoryRow{}, err
+		}
+	}
+	if err := waitValue(b, "/field", widget.AttrValue, final); err != nil {
+		return HistoryRow{}, err
+	}
+	row.RedoAllTime = time.Since(start)
+	row.RedoCorrect = true
+	return row, nil
+}

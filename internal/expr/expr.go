@@ -1,0 +1,243 @@
+// Package expr implements a small arithmetic-expression evaluator for
+// function terms in one variable x — the "function terms, or other data from
+// which the content or behavior of other components can be generated" in the
+// COSOFT classroom (§4). A teacher couples the *term field* (cheap) and each
+// environment regenerates the function display locally, instead of coupling
+// the rendered display (expensive) — the indirect-coupling experiment.
+//
+// Grammar (standard precedence, left-associative, ^ right-associative):
+//
+//	expr   = term { (+|-) term }
+//	term   = unary { (*|/) unary }
+//	unary  = [-] power
+//	power  = atom [ ^ unary ]
+//	atom   = number | x | ( expr )
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Expr is a compiled expression ready for repeated evaluation.
+type Expr struct {
+	root node
+	src  string
+}
+
+// node is one AST node.
+type node interface {
+	eval(x float64) float64
+}
+
+type numNode float64
+
+func (n numNode) eval(float64) float64 { return float64(n) }
+
+type varNode struct{}
+
+func (varNode) eval(x float64) float64 { return x }
+
+type unaryNode struct{ operand node }
+
+func (n unaryNode) eval(x float64) float64 { return -n.operand.eval(x) }
+
+type binNode struct {
+	op   byte
+	l, r node
+}
+
+func (n binNode) eval(x float64) float64 {
+	a, b := n.l.eval(x), n.r.eval(x)
+	switch n.op {
+	case '+':
+		return a + b
+	case '-':
+		return a - b
+	case '*':
+		return a * b
+	case '/':
+		return a / b
+	case '^':
+		return math.Pow(a, b)
+	default:
+		return math.NaN()
+	}
+}
+
+// Parse compiles a function term.
+func Parse(src string) (*Expr, error) {
+	p := &parser{input: strings.TrimSpace(src)}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.input) {
+		return nil, fmt.Errorf("expr: unexpected %q at position %d", p.input[p.pos], p.pos)
+	}
+	return &Expr{root: root, src: src}, nil
+}
+
+// MustParse is Parse for compile-time-constant terms; it panics on error.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Eval evaluates the expression at x.
+func (e *Expr) Eval(x float64) float64 { return e.root.eval(x) }
+
+// String returns the original source term.
+func (e *Expr) String() string { return e.src }
+
+// Sample evaluates the expression at n evenly spaced points across
+// [from, to], returning (x, y) pairs — the data a function display renders.
+func (e *Expr) Sample(from, to float64, n int) [][2]float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([][2]float64, n)
+	if n == 1 {
+		out[0] = [2]float64{from, e.Eval(from)}
+		return out
+	}
+	step := (to - from) / float64(n-1)
+	for i := range out {
+		x := from + float64(i)*step
+		out[i] = [2]float64{x, e.Eval(x)}
+	}
+	return out
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *parser) parseExpr() (node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '+', '-':
+			op := p.input[p.pos]
+			p.pos++
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = binNode{op: op, l: left, r: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*', '/':
+			op := p.input[p.pos]
+			p.pos++
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = binNode{op: op, l: left, r: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.peek() == '-' {
+		p.pos++
+		operand, err := p.parsePower()
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{operand: operand}, nil
+	}
+	return p.parsePower()
+}
+
+func (p *parser) parsePower() (node, error) {
+	base, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == '^' {
+		p.pos++
+		exp, err := p.parseUnary() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return binNode{op: '^', l: base, r: exp}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) parseAtom() (node, error) {
+	c := p.peek()
+	switch {
+	case c == 0:
+		return nil, fmt.Errorf("expr: unexpected end of input")
+	case c == '(':
+		p.pos++
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("expr: missing ')' at position %d", p.pos)
+		}
+		p.pos++
+		return inner, nil
+	case c == 'x' || c == 'X':
+		p.pos++
+		return varNode{}, nil
+	case c >= '0' && c <= '9' || c == '.':
+		start := p.pos
+		for p.pos < len(p.input) {
+			ch := p.input[p.pos]
+			if (ch < '0' || ch > '9') && ch != '.' {
+				break
+			}
+			p.pos++
+		}
+		f, err := strconv.ParseFloat(p.input[start:p.pos], 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q", p.input[start:p.pos])
+		}
+		return numNode(f), nil
+	default:
+		return nil, fmt.Errorf("expr: unexpected %q at position %d", c, p.pos)
+	}
+}

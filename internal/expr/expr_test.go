@@ -1,0 +1,102 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEval(t *testing.T) {
+	cases := []struct {
+		src  string
+		x    float64
+		want float64
+	}{
+		{"1+2", 0, 3},
+		{"2*x+1", 3, 7},
+		{"x^2", 4, 16},
+		{"2^3^2", 0, 512}, // right-associative
+		{"-x", 5, -5},
+		{"-(x+1)", 2, -3},
+		{"(1+2)*3", 0, 9},
+		{"10/4", 0, 2.5},
+		{"1 - 2 - 3", 0, -4}, // left-associative
+		{"12/3/2", 0, 2},
+		{"0.5*x", 10, 5},
+		{"X", 7, 7},
+		{"2*x^2 - 3*x + 1", 2, 3},
+		{"-2^2", 0, -4}, // unary binds outside power
+	}
+	for _, c := range cases {
+		t.Run(c.src, func(t *testing.T) {
+			e, err := Parse(c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := e.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+			}
+			if e.String() != c.src {
+				t.Errorf("String = %q", e.String())
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "1+", "(1", "y", "1..2", "1 2", "*3", "x)"}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse must panic")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestSample(t *testing.T) {
+	e := MustParse("x")
+	pts := e.Sample(0, 10, 11)
+	if len(pts) != 11 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0] != [2]float64{0, 0} || pts[10] != [2]float64{10, 10} {
+		t.Errorf("endpoints = %v, %v", pts[0], pts[10])
+	}
+	if pts[5][0] != 5 {
+		t.Errorf("midpoint x = %v", pts[5][0])
+	}
+	if got := e.Sample(3, 9, 1); len(got) != 1 || got[0] != [2]float64{3, 3} {
+		t.Errorf("single sample = %v", got)
+	}
+	if e.Sample(0, 1, 0) != nil {
+		t.Error("n=0 must return nil")
+	}
+}
+
+// Property: division never panics and parsing is deterministic.
+func TestPropEvalTotal(t *testing.T) {
+	e := MustParse("(x^2 - 1) / (x - 1)")
+	f := func(x float64) bool {
+		_ = e.Eval(x) // may be Inf/NaN at poles, must not panic
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	e := MustParse("2*x^2 - 3*x + 1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Eval(float64(i))
+	}
+}

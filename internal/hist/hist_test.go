@@ -1,0 +1,179 @@
+package hist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/couple"
+	"cosoft/internal/widget"
+)
+
+func ref(path string) couple.ObjectRef {
+	return couple.ObjectRef{Instance: "i1", Path: path}
+}
+
+func state(v string) widget.TreeState {
+	return widget.TreeState{Class: "textfield", Name: "t",
+		Attrs: attr.Set{widget.AttrValue: attr.String(v)}}
+}
+
+func TestRecordUndoRedo(t *testing.T) {
+	db := NewDB(8)
+	r := ref("/t")
+	db.Record(Snapshot{Ref: r, State: state("v1"), Origin: "i2", At: time.Unix(1, 0)})
+	db.Record(Snapshot{Ref: r, State: state("v2"), Origin: "i2", At: time.Unix(2, 0)})
+
+	// Current state is v3; undo yields v2, then v1.
+	s, err := db.Undo(r, state("v3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.State.Attrs.Get(widget.AttrValue).AsString(); got != "v2" {
+		t.Errorf("undo 1 = %q", got)
+	}
+	s, err = db.Undo(r, s.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.State.Attrs.Get(widget.AttrValue).AsString(); got != "v1" {
+		t.Errorf("undo 2 = %q", got)
+	}
+	if _, err := db.Undo(r, s.State); !errors.Is(err, ErrEmpty) {
+		t.Errorf("undo past bottom: %v", err)
+	}
+	// Redo walks back up: v2, v3.
+	s, err = db.Redo(r, s.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.State.Attrs.Get(widget.AttrValue).AsString(); got != "v2" {
+		t.Errorf("redo 1 = %q", got)
+	}
+	s, err = db.Redo(r, s.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.State.Attrs.Get(widget.AttrValue).AsString(); got != "v3" {
+		t.Errorf("redo 2 = %q", got)
+	}
+	if _, err := db.Redo(r, s.State); !errors.Is(err, ErrEmpty) {
+		t.Errorf("redo past top: %v", err)
+	}
+}
+
+func TestRecordClearsRedo(t *testing.T) {
+	db := NewDB(8)
+	r := ref("/t")
+	db.Record(Snapshot{Ref: r, State: state("v1")})
+	if _, err := db.Undo(r, state("v2")); err != nil {
+		t.Fatal(err)
+	}
+	db.Record(Snapshot{Ref: r, State: state("v1b")})
+	if _, err := db.Redo(r, state("x")); !errors.Is(err, ErrEmpty) {
+		t.Errorf("redo after new record: %v", err)
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	db := NewDB(3)
+	r := ref("/t")
+	for i := 0; i < 10; i++ {
+		db.Record(Snapshot{Ref: r, State: state(fmt.Sprintf("v%d", i))})
+	}
+	undo, redo := db.Depth(r)
+	if undo != 3 || redo != 0 {
+		t.Fatalf("Depth = %d, %d", undo, redo)
+	}
+	// Oldest retained is v7 (v0..v6 evicted).
+	s, err := db.Undo(r, state("cur"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.State.Attrs.Get(widget.AttrValue).AsString(); got != "v9" {
+		t.Errorf("top = %q", got)
+	}
+	db.Undo(r, s.State)
+	s, err = db.Undo(r, state("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.State.Attrs.Get(widget.AttrValue).AsString(); got != "v7" {
+		t.Errorf("bottom = %q", got)
+	}
+}
+
+func TestDefaultDepth(t *testing.T) {
+	db := NewDB(0)
+	r := ref("/t")
+	for i := 0; i < DefaultDepth+5; i++ {
+		db.Record(Snapshot{Ref: r, State: state("v")})
+	}
+	undo, _ := db.Depth(r)
+	if undo != DefaultDepth {
+		t.Errorf("depth = %d, want %d", undo, DefaultDepth)
+	}
+}
+
+func TestForget(t *testing.T) {
+	db := NewDB(4)
+	db.Record(Snapshot{Ref: ref("/a"), State: state("x")})
+	db.Record(Snapshot{Ref: ref("/b"), State: state("y")})
+	other := couple.ObjectRef{Instance: "i2", Path: "/c"}
+	db.Record(Snapshot{Ref: other, State: state("z")})
+	db.Forget(ref("/a"))
+	if u, _ := db.Depth(ref("/a")); u != 0 {
+		t.Error("Forget failed")
+	}
+	db.ForgetInstance("i1")
+	if db.Len() != 1 {
+		t.Errorf("Len = %d, want 1", db.Len())
+	}
+	if u, _ := db.Depth(other); u != 1 {
+		t.Error("ForgetInstance dropped another instance's history")
+	}
+}
+
+func TestEmptyObject(t *testing.T) {
+	db := NewDB(4)
+	if _, err := db.Undo(ref("/nope"), state("x")); !errors.Is(err, ErrEmpty) {
+		t.Errorf("undo on unknown: %v", err)
+	}
+	if _, err := db.Redo(ref("/nope"), state("x")); !errors.Is(err, ErrEmpty) {
+		t.Errorf("redo on unknown: %v", err)
+	}
+	if u, r := db.Depth(ref("/nope")); u != 0 || r != 0 {
+		t.Error("Depth on unknown")
+	}
+}
+
+// Property: undo followed by redo restores the pre-undo current state, for
+// any record/current sequence.
+func TestPropUndoRedoIdentity(t *testing.T) {
+	f := func(vals []string) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		db := NewDB(64)
+		r := ref("/t")
+		for _, v := range vals {
+			db.Record(Snapshot{Ref: r, State: state(v)})
+		}
+		cur := state("CURRENT")
+		s, err := db.Undo(r, cur)
+		if err != nil {
+			return false
+		}
+		back, err := db.Redo(r, s.State)
+		if err != nil {
+			return false
+		}
+		return back.State.Equal(cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

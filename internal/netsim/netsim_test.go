@@ -1,0 +1,224 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	l := NewLink(0)
+	defer l.Close()
+	msg := []byte("hello over the simulated wire")
+	go func() {
+		if _, err := l.A.Write(msg); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(l.B, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Errorf("got %q", buf)
+	}
+	// Other direction.
+	go l.B.Write([]byte("pong"))
+	buf = make([]byte, 4)
+	if _, err := io.ReadFull(l.A, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pong" {
+		t.Errorf("got %q", buf)
+	}
+}
+
+func TestPartialReads(t *testing.T) {
+	l := NewLink(0)
+	defer l.Close()
+	go l.A.Write([]byte("abcdef"))
+	one := make([]byte, 2)
+	var got []byte
+	for len(got) < 6 {
+		n, err := l.B.Read(one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, one[:n]...)
+	}
+	if string(got) != "abcdef" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	l := NewLink(lat)
+	defer l.Close()
+	start := time.Now()
+	go l.A.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(l.B, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Errorf("delivery after %v, want >= %v", elapsed, lat)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	l := NewLink(0)
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 10)
+		io.ReadFull(l.B, buf)
+	}()
+	l.A.Write([]byte("12345"))
+	l.A.Write([]byte("67890"))
+	<-done
+	msgs, bts := l.AtoB.Snapshot()
+	if msgs != 2 || bts != 10 {
+		t.Errorf("AtoB = %d msgs, %d bytes", msgs, bts)
+	}
+	if l.TotalMessages() != 2 || l.TotalBytes() != 10 {
+		t.Errorf("totals = %d, %d", l.TotalMessages(), l.TotalBytes())
+	}
+}
+
+func TestCloseUnblocksReader(t *testing.T) {
+	l := NewLink(0)
+	errc := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := l.B.Read(buf)
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	l.A.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, io.EOF) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("reader not unblocked")
+	}
+	if _, err := l.A.Write([]byte("x")); err == nil {
+		t.Error("write after close must fail")
+	}
+	if err := l.A.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestDeadlinesUnsupported(t *testing.T) {
+	l := NewLink(0)
+	defer l.Close()
+	if err := l.A.SetDeadline(time.Now()); err == nil {
+		t.Error("deadlines should report unsupported")
+	}
+	if l.A.LocalAddr().String() != "netsim-a" || l.A.RemoteAddr().String() != "netsim-b" {
+		t.Error("addresses wrong")
+	}
+	if l.A.LocalAddr().Network() != "netsim" {
+		t.Error("network wrong")
+	}
+}
+
+func TestListener(t *testing.T) {
+	lis := NewListener(0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := lis.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		buf := make([]byte, 2)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		conn.Write(buf)
+	}()
+	client, err := lis.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Write([]byte("hi"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hi" {
+		t.Errorf("echo = %q", buf)
+	}
+	wg.Wait()
+	if len(lis.Links()) != 1 {
+		t.Errorf("links = %d", len(lis.Links()))
+	}
+	if err := lis.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lis.Dial(); err == nil {
+		t.Error("dial after close must fail")
+	}
+	if _, err := lis.Accept(); err == nil {
+		t.Error("accept after close must fail")
+	}
+	if err := lis.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	_ = lis.Addr()
+}
+
+func TestConcurrentTraffic(t *testing.T) {
+	l := NewLink(0)
+	defer l.Close()
+	const writers, msgs = 4, 100
+	var wg sync.WaitGroup
+	received := make(chan int, 1)
+	go func() {
+		total := 0
+		buf := make([]byte, 256)
+		for total < writers*msgs {
+			n, err := l.B.Read(buf)
+			if err != nil {
+				break
+			}
+			total += n
+		}
+		received <- total
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				l.A.Write([]byte{1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := <-received; got != writers*msgs {
+		t.Errorf("received %d bytes, want %d", got, writers*msgs)
+	}
+}
+
+func TestWriteDeadlinesUnsupported(t *testing.T) {
+	l := NewLink(0)
+	defer l.Close()
+	if err := l.A.SetReadDeadline(time.Now()); err == nil {
+		t.Error("SetReadDeadline should report unsupported")
+	}
+	if err := l.A.SetWriteDeadline(time.Now()); err == nil {
+		t.Error("SetWriteDeadline should report unsupported")
+	}
+}

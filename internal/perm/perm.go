@@ -1,0 +1,151 @@
+// Package perm implements the server's access-permission database (§2.1):
+// "Access permissions are three-valued tuples with user ID, UI state
+// identifier, and access right category."
+package perm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Right is an access-right category.
+type Right uint8
+
+// Access-right categories. A right covers the operations of the coupling
+// protocol that read, overwrite, or serialize the named UI state.
+const (
+	// RightView allows reading an object's state (CopyFrom by others).
+	RightView Right = iota + 1
+	// RightCopy allows overwriting an object's state (CopyTo by others).
+	RightCopy
+	// RightCouple allows establishing couple links to the object.
+	RightCouple
+	// RightControl allows remote operations (RemoteCouple, RemoteCopy,
+	// undo/redo) on the object.
+	RightControl
+)
+
+var rightNames = map[Right]string{
+	RightView:    "view",
+	RightCopy:    "copy",
+	RightCouple:  "couple",
+	RightControl: "control",
+}
+
+// String returns the right's lower-case name.
+func (r Right) String() string {
+	if s, ok := rightNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("right(%d)", uint8(r))
+}
+
+// Rule is one permission tuple. User and State may end in "*" to match any
+// suffix; the bare "*" matches everything.
+type Rule struct {
+	// User is the user ID the rule applies to.
+	User string
+	// State identifies UI states as instance:path patterns.
+	State string
+	// Right is the granted category.
+	Right Right
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	return fmt.Sprintf("(%s, %s, %s)", r.User, r.State, r.Right)
+}
+
+// Table is the permission database. A table with no rules at all is open
+// (every check passes): permissions are an opt-in restriction, matching the
+// paper's training scenario where the default is free coupling and the
+// teacher restricts as needed. As soon as one rule exists, checks are
+// default-deny. The zero value is not usable; call NewTable.
+type Table struct {
+	mu    sync.RWMutex
+	rules []Rule
+}
+
+// NewTable returns an empty (open) permission table.
+func NewTable() *Table { return &Table{} }
+
+// Grant adds a rule. Duplicate rules are ignored.
+func (t *Table) Grant(r Rule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, existing := range t.rules {
+		if existing == r {
+			return
+		}
+	}
+	t.rules = append(t.rules, r)
+}
+
+// Revoke removes every rule equal to r, reporting whether any was removed.
+func (t *Table) Revoke(r Rule) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.rules[:0]
+	removed := false
+	for _, existing := range t.rules {
+		if existing == r {
+			removed = true
+			continue
+		}
+		kept = append(kept, existing)
+	}
+	t.rules = kept
+	return removed
+}
+
+// Allowed reports whether user holds the right on the state identifier.
+// An empty table allows everything.
+func (t *Table) Allowed(user, state string, right Right) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.rules) == 0 {
+		return true
+	}
+	for _, r := range t.rules {
+		if r.Right == right && matchPattern(r.User, user) && matchPattern(r.State, state) {
+			return true
+		}
+	}
+	return false
+}
+
+// Rules returns a deterministic copy of the rule list.
+func (t *Table) Rules() []Rule {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Rule, len(t.rules))
+	copy(out, t.rules)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		if out[i].State != out[j].State {
+			return out[i].State < out[j].State
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out
+}
+
+// Len returns the number of rules.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rules)
+}
+
+// matchPattern matches s against pattern, where a trailing '*' in pattern
+// matches any suffix.
+func matchPattern(pattern, s string) bool {
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(s, pattern[:len(pattern)-1])
+	}
+	return pattern == s
+}

@@ -1,0 +1,97 @@
+package perm
+
+import (
+	"testing"
+)
+
+func TestEmptyTableIsOpen(t *testing.T) {
+	tbl := NewTable()
+	if !tbl.Allowed("anyone", "i1:/x", RightCopy) {
+		t.Error("empty table must allow everything")
+	}
+}
+
+func TestDefaultDenyWithRules(t *testing.T) {
+	tbl := NewTable()
+	tbl.Grant(Rule{User: "teacher", State: "student1:/exercise", Right: RightView})
+	if !tbl.Allowed("teacher", "student1:/exercise", RightView) {
+		t.Error("granted rule must allow")
+	}
+	if tbl.Allowed("teacher", "student1:/exercise", RightCopy) {
+		t.Error("other right must be denied")
+	}
+	if tbl.Allowed("student2", "student1:/exercise", RightView) {
+		t.Error("other user must be denied")
+	}
+	if tbl.Allowed("teacher", "student1:/other", RightView) {
+		t.Error("other state must be denied")
+	}
+}
+
+func TestWildcards(t *testing.T) {
+	tbl := NewTable()
+	tbl.Grant(Rule{User: "teacher", State: "student1:*", Right: RightCouple})
+	tbl.Grant(Rule{User: "*", State: "board:/public*", Right: RightView})
+	if !tbl.Allowed("teacher", "student1:/any/path", RightCouple) {
+		t.Error("state prefix wildcard failed")
+	}
+	if tbl.Allowed("teacher", "student2:/any", RightCouple) {
+		t.Error("wildcard leaked across instances")
+	}
+	if !tbl.Allowed("whoever", "board:/public/slide1", RightView) {
+		t.Error("user wildcard failed")
+	}
+	if tbl.Allowed("whoever", "board:/private", RightView) {
+		t.Error("pattern matched wrong path")
+	}
+}
+
+func TestGrantDuplicateAndRevoke(t *testing.T) {
+	tbl := NewTable()
+	r := Rule{User: "u", State: "i:/x", Right: RightControl}
+	tbl.Grant(r)
+	tbl.Grant(r)
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tbl.Len())
+	}
+	if !tbl.Revoke(r) {
+		t.Error("Revoke must report removal")
+	}
+	if tbl.Revoke(r) {
+		t.Error("second Revoke must report false")
+	}
+	// Table is empty again — back to open.
+	if !tbl.Allowed("other", "i:/y", RightView) {
+		t.Error("empty table must be open again")
+	}
+}
+
+func TestRulesSorted(t *testing.T) {
+	tbl := NewTable()
+	tbl.Grant(Rule{User: "b", State: "s", Right: RightView})
+	tbl.Grant(Rule{User: "a", State: "s", Right: RightCopy})
+	tbl.Grant(Rule{User: "a", State: "s", Right: RightView})
+	rules := tbl.Rules()
+	if len(rules) != 3 || rules[0].User != "a" || rules[0].Right != RightView || rules[2].User != "b" {
+		t.Errorf("Rules = %v", rules)
+	}
+}
+
+func TestRightString(t *testing.T) {
+	cases := map[Right]string{
+		RightView:    "view",
+		RightCopy:    "copy",
+		RightCouple:  "couple",
+		RightControl: "control",
+		Right(42):    "right(42)",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+	rule := Rule{User: "u", State: "i:/x", Right: RightCopy}
+	if got := rule.String(); got != "(u, i:/x, copy)" {
+		t.Errorf("Rule.String = %q", got)
+	}
+}

@@ -1,0 +1,399 @@
+// Package repl implements the interactive control interface for a coupling
+// session — the modern stand-in for the interactive coordination UIs the
+// paper reports consumed most of the engineering effort ("the main amount of
+// work went into the provision of an interactive interface to coordinate a
+// joint retrieval session between several users", §4).
+//
+// It drives one application instance from a line-oriented command stream:
+// building widgets, declaring them couplable, inspecting the classroom,
+// coupling/decoupling, dispatching events, copying state, and walking the
+// undo history.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/client"
+	"cosoft/internal/couple"
+	"cosoft/internal/widget"
+)
+
+// REPL executes commands against one client.
+type REPL struct {
+	cli *client.Client
+	out io.Writer
+}
+
+// New returns a REPL driving the given client.
+func New(cli *client.Client, out io.Writer) *REPL {
+	return &REPL{cli: cli, out: out}
+}
+
+// Run reads commands from r until EOF or the quit command. Errors from
+// individual commands are printed, not fatal.
+func (r *REPL) Run(in io.Reader) error {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 64*1024), 64*1024)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if err := r.Execute(line); err != nil {
+			fmt.Fprintf(r.out, "error: %v\n", err)
+		}
+	}
+	return scanner.Err()
+}
+
+// Execute runs a single command line.
+func (r *REPL) Execute(line string) error {
+	fields, err := fieldsQuoted(line)
+	if err != nil {
+		return err
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+	cmd, args := fields[0], fields[1:]
+	handler, ok := commands[cmd]
+	if !ok {
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+	return handler(r, args, line)
+}
+
+// fieldsQuoted splits on spaces but keeps double-quoted segments (with their
+// quotes) as single tokens, so string event arguments survive.
+func fieldsQuoted(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		inQuote := false
+		for i < len(line) {
+			switch line[i] {
+			case '"':
+				inQuote = !inQuote
+			case ' ':
+				if !inQuote {
+					goto done
+				}
+			}
+			i++
+		}
+	done:
+		if inQuote {
+			return nil, fmt.Errorf("unterminated quote in %q", line)
+		}
+		out = append(out, line[start:i])
+	}
+	return out, nil
+}
+
+type command func(r *REPL, args []string, raw string) error
+
+var commands map[string]command
+
+// init breaks the initialization cycle between the command table and the
+// help command, which lists the table.
+func init() {
+	commands = map[string]command{
+		"help":      (*REPL).cmdHelp,
+		"id":        (*REPL).cmdID,
+		"build":     (*REPL).cmdBuild,
+		"tree":      (*REPL).cmdTree,
+		"get":       (*REPL).cmdGet,
+		"event":     (*REPL).cmdEvent,
+		"declare":   (*REPL).cmdDeclare,
+		"instances": (*REPL).cmdInstances,
+		"links":     (*REPL).cmdLinks,
+		"couple":    (*REPL).cmdCouple,
+		"decouple":  (*REPL).cmdDecouple,
+		"copyto":    (*REPL).cmdCopyTo,
+		"copyfrom":  (*REPL).cmdCopyFrom,
+		"inspect":   (*REPL).cmdInspect,
+		"undo":      (*REPL).cmdUndo,
+		"redo":      (*REPL).cmdRedo,
+		"send":      (*REPL).cmdSend,
+	}
+}
+
+var helpText = map[string]string{
+	"help":      "help — list commands",
+	"id":        "id — print this instance's identifier",
+	"build":     "build <parent> <spec-line> — create a widget, e.g. build / textfield note value=\"\"",
+	"tree":      "tree [path] — print the widget tree",
+	"get":       "get <path> <attr> — read one attribute",
+	"event":     "event <path> <name> [args...] — dispatch a high-level event (args: int, \"string\", true/false)",
+	"declare":   "declare <path> — make the subtree couplable",
+	"instances": "instances — list registered application instances",
+	"links":     "links <path> — show the local object's coupling group",
+	"couple":    "couple <localPath> <instance> <remotePath> — create a couple link",
+	"decouple":  "decouple <localPath> <instance> <remotePath> — remove a couple link",
+	"copyto":    "copyto <localPath> <instance> <remotePath> — push state (passive sync)",
+	"copyfrom":  "copyfrom <instance> <remotePath> <localPath> — pull state (active sync)",
+	"inspect":   "inspect <instance> <path> — print a remote object's relevant state",
+	"undo":      "undo <path> — restore the last overwritten state",
+	"redo":      "redo <path> — re-apply the last undone state",
+	"send":      "send <command> [instance] <text> — CoSendCommand to one instance or broadcast",
+}
+
+func (r *REPL) cmdHelp(args []string, raw string) error {
+	names := make([]string, 0, len(helpText))
+	for n := range helpText {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintln(r.out, helpText[n])
+	}
+	fmt.Fprintln(r.out, "quit — leave the session")
+	return nil
+}
+
+func (r *REPL) cmdID(args []string, raw string) error {
+	fmt.Fprintln(r.out, r.cli.ID())
+	return nil
+}
+
+func (r *REPL) cmdBuild(args []string, raw string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: %s", helpText["build"])
+	}
+	parent := args[0]
+	spec := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(raw), "build"))
+	spec = strings.TrimSpace(strings.TrimPrefix(spec, parent))
+	w, err := widget.Build(r.cli.Registry(), parent, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out, "created %s (%s)\n", w.Path(), w.Class().Name)
+	return nil
+}
+
+func (r *REPL) cmdTree(args []string, raw string) error {
+	root := "/"
+	if len(args) > 0 {
+		root = args[0]
+	}
+	ts, err := r.cli.Registry().CaptureTree(root, false)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(r.out, ts.String())
+	return nil
+}
+
+func (r *REPL) cmdGet(args []string, raw string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: %s", helpText["get"])
+	}
+	w, err := r.cli.Registry().Lookup(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, w.Attr(args[1]).String())
+	return nil
+}
+
+func (r *REPL) cmdEvent(args []string, raw string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: %s", helpText["event"])
+	}
+	vals, err := parseEventArgs(args[2:])
+	if err != nil {
+		return err
+	}
+	ev := &widget.Event{Path: args[0], Name: args[1], Args: vals}
+	if err := r.cli.DispatchChecked(ev); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out, "dispatched %s\n", ev)
+	return nil
+}
+
+func parseEventArgs(tokens []string) ([]attr.Value, error) {
+	var vals []attr.Value
+	for _, tok := range tokens {
+		switch {
+		case tok == "true":
+			vals = append(vals, attr.Bool(true))
+		case tok == "false":
+			vals = append(vals, attr.Bool(false))
+		case strings.HasPrefix(tok, `"`):
+			unq, err := strconv.Unquote(tok)
+			if err != nil {
+				return nil, fmt.Errorf("bad string %s: %w", tok, err)
+			}
+			vals = append(vals, attr.String(unq))
+		default:
+			if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+				vals = append(vals, attr.Int(n))
+				continue
+			}
+			vals = append(vals, attr.String(tok))
+		}
+	}
+	return vals, nil
+}
+
+func (r *REPL) cmdDeclare(args []string, raw string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: %s", helpText["declare"])
+	}
+	if err := r.cli.DeclareTree(args[0]); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out, "declared %s\n", args[0])
+	return nil
+}
+
+func (r *REPL) cmdInstances(args []string, raw string) error {
+	infos, err := r.cli.Instances()
+	if err != nil {
+		return err
+	}
+	for _, info := range infos {
+		marker := " "
+		if info.ID == r.cli.ID() {
+			marker = "*"
+		}
+		fmt.Fprintf(r.out, "%s %-16s %-14s user=%-10s %d objects\n",
+			marker, info.ID, info.AppType, info.User, len(info.Objects))
+	}
+	return nil
+}
+
+func (r *REPL) cmdLinks(args []string, raw string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: %s", helpText["links"])
+	}
+	group := r.cli.CO(args[0])
+	if len(group) == 0 {
+		fmt.Fprintf(r.out, "%s is not coupled\n", args[0])
+		return nil
+	}
+	for _, m := range group {
+		fmt.Fprintf(r.out, "coupled with %s\n", m)
+	}
+	return nil
+}
+
+func (r *REPL) remoteRef(instance, path string) couple.ObjectRef {
+	return couple.ObjectRef{Instance: couple.InstanceID(instance), Path: path}
+}
+
+func (r *REPL) cmdCouple(args []string, raw string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: %s", helpText["couple"])
+	}
+	if err := r.cli.Couple(args[0], r.remoteRef(args[1], args[2])); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out, "coupled %s with %s:%s\n", args[0], args[1], args[2])
+	return nil
+}
+
+func (r *REPL) cmdDecouple(args []string, raw string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: %s", helpText["decouple"])
+	}
+	if err := r.cli.Decouple(args[0], r.remoteRef(args[1], args[2])); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out, "decoupled %s from %s:%s\n", args[0], args[1], args[2])
+	return nil
+}
+
+func (r *REPL) cmdCopyTo(args []string, raw string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: %s", helpText["copyto"])
+	}
+	if err := r.cli.CopyTo(args[0], r.remoteRef(args[1], args[2]), false); err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "copied")
+	return nil
+}
+
+func (r *REPL) cmdCopyFrom(args []string, raw string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: %s", helpText["copyfrom"])
+	}
+	if err := r.cli.CopyFrom(r.remoteRef(args[0], args[1]), args[2], false); err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "copied")
+	return nil
+}
+
+func (r *REPL) cmdInspect(args []string, raw string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: %s", helpText["inspect"])
+	}
+	ts, err := r.cli.FetchState(r.remoteRef(args[0], args[1]), true)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(r.out, ts.String())
+	return nil
+}
+
+func (r *REPL) cmdUndo(args []string, raw string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: %s", helpText["undo"])
+	}
+	if err := r.cli.Undo(args[0]); err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "undone")
+	return nil
+}
+
+func (r *REPL) cmdRedo(args []string, raw string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: %s", helpText["redo"])
+	}
+	if err := r.cli.Redo(args[0]); err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "redone")
+	return nil
+}
+
+func (r *REPL) cmdSend(args []string, raw string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: %s", helpText["send"])
+	}
+	name := args[0]
+	rest := args[1:]
+	var targets []couple.InstanceID
+	// A first token that looks like an instance id (contains '-') narrows
+	// the broadcast.
+	if len(rest) > 1 && strings.Contains(rest[0], "-") {
+		targets = append(targets, couple.InstanceID(rest[0]))
+		rest = rest[1:]
+	}
+	payload := strings.Join(rest, " ")
+	if err := r.cli.SendCommand(name, []byte(payload), targets...); err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "sent")
+	return nil
+}

@@ -1,0 +1,148 @@
+// Package replay implements the action-log alternative the paper weighs
+// against synchronization by state (§3.1): "One approach is to record all
+// actions occurring on the (copied and copying) complex objects while they
+// are decoupled, and then re-execute these actions when they are coupled.
+// ... The first approach is expensive, especially for long periods of
+// decoupling."
+//
+// The package provides recording, replay, and a compaction pass, so the
+// state-copy-vs-action-replay experiment (E3) can measure all three
+// variants: naive replay, compacted replay, and the state copy the paper
+// chose.
+package replay
+
+import (
+	"sync"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/widget"
+)
+
+// Log records high-level events that occurred while an object (or group of
+// objects) was decoupled. The zero value is not usable; call NewLog.
+type Log struct {
+	mu     sync.Mutex
+	max    int
+	events []widget.Event
+	// dropped counts events discarded because the log was full — a full
+	// log means replay can no longer reproduce the peer's state and the
+	// caller must fall back to a state copy.
+	dropped int
+}
+
+// NewLog returns a log holding up to max events (0 = unbounded).
+func NewLog(max int) *Log {
+	return &Log{max: max}
+}
+
+// Record appends one event. Events beyond the bound are counted as dropped.
+func (l *Log) Record(e *widget.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.max > 0 && len(l.events) >= l.max {
+		l.dropped++
+		return
+	}
+	cp := widget.Event{Path: e.Path, Name: e.Name, Remote: e.Remote}
+	if len(e.Args) > 0 {
+		cp.Args = make([]attr.Value, len(e.Args))
+		for i, a := range e.Args {
+			cp.Args[i] = a.Clone()
+		}
+	}
+	l.events = append(l.events, cp)
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Dropped returns the number of events discarded over the bound.
+func (l *Log) Dropped() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Events returns a copy of the recorded events in order.
+func (l *Log) Events() []widget.Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]widget.Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Clear empties the log.
+func (l *Log) Clear() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = nil
+	l.dropped = 0
+}
+
+// Replay re-executes the recorded events through dispatch, in order. It
+// returns the number replayed; a dispatch error aborts the replay.
+func (l *Log) Replay(dispatch func(*widget.Event) error) (int, error) {
+	for i, e := range l.Events() {
+		e := e
+		if err := dispatch(&e); err != nil {
+			return i, err
+		}
+	}
+	return l.Len(), nil
+}
+
+// Compact collapses the log in place: for events whose effect is a full
+// replacement of the object's state — 'changed' (textfield value), 'select'
+// (menu/list selection), 'moved' (scale position), 'toggled' pairs — only
+// the net effect per object survives. Accumulating events ('edit' splices,
+// 'draw' strokes, 'activate') are order-dependent and kept. It returns the
+// number of events removed.
+func (l *Log) Compact() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	type key struct{ path, name string }
+	// Walk backwards: keep the last replacement per (path, event) and count
+	// toggles for parity.
+	keepLastSeen := make(map[key]bool)
+	toggleParity := make(map[string]int)
+	kept := make([]widget.Event, 0, len(l.events))
+	for i := len(l.events) - 1; i >= 0; i-- {
+		e := l.events[i]
+		switch e.Name {
+		case widget.EventChanged, widget.EventSelect, widget.EventMoved:
+			k := key{e.Path, e.Name}
+			if keepLastSeen[k] {
+				continue // an even later replacement survives
+			}
+			keepLastSeen[k] = true
+			kept = append(kept, e)
+		case widget.EventToggled:
+			toggleParity[e.Path]++
+			if toggleParity[e.Path] == 1 {
+				kept = append(kept, e) // placeholder; dropped later if even
+			}
+		default:
+			kept = append(kept, e)
+		}
+	}
+	// Remove placeholder toggles with even parity.
+	final := kept[:0]
+	for _, e := range kept {
+		if e.Name == widget.EventToggled && toggleParity[e.Path]%2 == 0 {
+			continue
+		}
+		final = append(final, e)
+	}
+	// kept was built backwards; restore order.
+	for i, j := 0, len(final)-1; i < j; i, j = i+1, j-1 {
+		final[i], final[j] = final[j], final[i]
+	}
+	removed := len(l.events) - len(final)
+	l.events = append([]widget.Event(nil), final...)
+	return removed
+}

@@ -1,0 +1,193 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/widget"
+)
+
+func changed(path, v string) *widget.Event {
+	return &widget.Event{Path: path, Name: widget.EventChanged, Args: []attr.Value{attr.String(v)}}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	l := NewLog(0)
+	l.Record(changed("/a", "1"))
+	l.Record(changed("/a", "2"))
+	l.Record(changed("/b", "x"))
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+
+	reg := widget.NewRegistry()
+	widget.MustBuild(reg, "/", "textfield a")
+	widget.MustBuild(reg, "/", "textfield b")
+	n, err := l.Replay(reg.Dispatch)
+	if err != nil || n != 3 {
+		t.Fatalf("Replay = %d, %v", n, err)
+	}
+	wa, _ := reg.Lookup("/a")
+	wb, _ := reg.Lookup("/b")
+	if wa.Attr(widget.AttrValue).AsString() != "2" || wb.Attr(widget.AttrValue).AsString() != "x" {
+		t.Error("replay did not reproduce the state")
+	}
+	l.Clear()
+	if l.Len() != 0 || l.Dropped() != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestReplayAborts(t *testing.T) {
+	l := NewLog(0)
+	l.Record(changed("/a", "1"))
+	l.Record(changed("/missing", "2"))
+	l.Record(changed("/a", "3"))
+	reg := widget.NewRegistry()
+	widget.MustBuild(reg, "/", "textfield a")
+	n, err := l.Replay(reg.Dispatch)
+	if err == nil || n != 1 {
+		t.Fatalf("Replay = %d, %v", n, err)
+	}
+	if !errors.Is(err, widget.ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBoundedLogDrops(t *testing.T) {
+	l := NewLog(2)
+	for i := 0; i < 5; i++ {
+		l.Record(changed("/a", "v"))
+	}
+	if l.Len() != 2 || l.Dropped() != 3 {
+		t.Errorf("Len = %d, Dropped = %d", l.Len(), l.Dropped())
+	}
+}
+
+func TestRecordCopiesArgs(t *testing.T) {
+	l := NewLog(0)
+	e := changed("/a", "orig")
+	l.Record(e)
+	e.Args[0] = attr.String("mutated")
+	if got := l.Events()[0].Args[0].AsString(); got != "orig" {
+		t.Errorf("recorded arg = %q", got)
+	}
+}
+
+func TestCompactReplacements(t *testing.T) {
+	l := NewLog(0)
+	for i := 0; i < 10; i++ {
+		l.Record(changed("/a", fmt.Sprintf("v%d", i)))
+	}
+	l.Record(&widget.Event{Path: "/m", Name: widget.EventSelect, Args: []attr.Value{attr.String("one")}})
+	l.Record(&widget.Event{Path: "/m", Name: widget.EventSelect, Args: []attr.Value{attr.String("two")}})
+	removed := l.Compact()
+	if removed != 10 {
+		t.Errorf("removed = %d, want 10 (9 stale values + 1 stale selection)", removed)
+	}
+	events := l.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Args[0].AsString() != "v9" || events[1].Args[0].AsString() != "two" {
+		t.Errorf("compacted to %v, %v", events[0], events[1])
+	}
+}
+
+func TestCompactToggles(t *testing.T) {
+	l := NewLog(0)
+	for i := 0; i < 4; i++ { // even: net no-op
+		l.Record(&widget.Event{Path: "/t", Name: widget.EventToggled})
+	}
+	for i := 0; i < 3; i++ { // odd: one survives
+		l.Record(&widget.Event{Path: "/u", Name: widget.EventToggled})
+	}
+	l.Compact()
+	events := l.Events()
+	if len(events) != 1 || events[0].Path != "/u" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestCompactKeepsAccumulating(t *testing.T) {
+	l := NewLog(0)
+	l.Record(&widget.Event{Path: "/ta", Name: widget.EventEdit,
+		Args: []attr.Value{attr.Int(0), attr.Int(0), attr.String("a")}})
+	l.Record(&widget.Event{Path: "/ta", Name: widget.EventEdit,
+		Args: []attr.Value{attr.Int(1), attr.Int(0), attr.String("b")}})
+	l.Record(&widget.Event{Path: "/c", Name: widget.EventDraw,
+		Args: []attr.Value{attr.PointList(attr.Point{X: 1, Y: 1})}})
+	if removed := l.Compact(); removed != 0 {
+		t.Errorf("removed = %d accumulating events", removed)
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+// Property: compaction preserves replay semantics for replacement events —
+// replaying the full log and the compacted log yields identical widget
+// state.
+func TestPropCompactEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		full := NewLog(0)
+		for i, n := 0, r.Intn(30); i < n; i++ {
+			switch r.Intn(3) {
+			case 0:
+				full.Record(changed(fmt.Sprintf("/f%d", r.Intn(3)), fmt.Sprintf("v%d", i)))
+			case 1:
+				full.Record(&widget.Event{Path: fmt.Sprintf("/t%d", r.Intn(2)), Name: widget.EventToggled})
+			default:
+				full.Record(&widget.Event{Path: fmt.Sprintf("/m%d", r.Intn(2)), Name: widget.EventSelect,
+					Args: []attr.Value{attr.String(fmt.Sprintf("s%d", i))}})
+			}
+		}
+		compacted := NewLog(0)
+		for _, e := range full.Events() {
+			e := e
+			compacted.Record(&e)
+		}
+		compacted.Compact()
+
+		build := func() *widget.Registry {
+			reg := widget.NewRegistry()
+			for i := 0; i < 3; i++ {
+				widget.MustBuild(reg, "/", fmt.Sprintf("textfield f%d", i))
+			}
+			for i := 0; i < 2; i++ {
+				widget.MustBuild(reg, "/", fmt.Sprintf("toggle t%d", i))
+				widget.MustBuild(reg, "/", fmt.Sprintf("menu m%d", i))
+			}
+			return reg
+		}
+		ra, rb := build(), build()
+		if _, err := full.Replay(ra.Dispatch); err != nil {
+			return false
+		}
+		if _, err := compacted.Replay(rb.Dispatch); err != nil {
+			return false
+		}
+		for _, path := range ra.Paths() {
+			wa, err := ra.Lookup(path)
+			if err != nil {
+				return false
+			}
+			wb, err := rb.Lookup(path)
+			if err != nil {
+				return false
+			}
+			if !wa.State().Equal(wb.State()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

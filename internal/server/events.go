@@ -1,0 +1,108 @@
+package server
+
+import (
+	"cosoft/internal/couple"
+	"cosoft/internal/lock"
+	"cosoft/internal/wire"
+)
+
+// pendingEvent tracks one broadcast event until every member instance has
+// acknowledged re-execution, at which point the group is unlocked ("They are
+// unlocked when the processing of this event is completed", §3.2).
+type pendingEvent struct {
+	origin  couple.InstanceID
+	source  couple.ObjectRef
+	members []couple.ObjectRef // CO(o): everyone except the source
+	owner   lock.Owner
+	// waiting counts outstanding Exec acknowledgements per instance (an
+	// instance may hold several coupled members).
+	waiting map[couple.InstanceID]int
+}
+
+// handleEvent implements the multiple-execution algorithm of §3.2. The
+// originating client has already applied the event's built-in feedback
+// locally; the server locks CO(o), broadcasts Exec to every coupled member,
+// and tells the origin whether to keep or undo its feedback.
+func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event) {
+	s.statEvents++
+	source := couple.ObjectRef{Instance: cl.id, Path: m.Path}
+	members := s.graph.CO(source)
+	if len(members) == 0 {
+		// Uncoupled object: nothing to synchronize; the local feedback
+		// stands.
+		cl.out.send(wire.Envelope{RefSeq: seq, Msg: wire.EventResult{OK: true}})
+		return
+	}
+
+	s.nextEventID++
+	eventID := s.nextEventID
+	owner := lock.Owner{Instance: cl.id, Seq: eventID}
+	ok, _ := s.lockGroup(members, owner)
+	if !ok {
+		// Lock failed: the origin must undo the event's syntactic feedback.
+		s.statLockFails++
+		cl.out.send(wire.Envelope{RefSeq: seq, Msg: wire.EventResult{OK: false, Reason: "group locked"}})
+		return
+	}
+
+	pe := &pendingEvent{
+		origin:  cl.id,
+		source:  source,
+		members: members,
+		owner:   owner,
+		waiting: make(map[couple.InstanceID]int),
+	}
+	// Disable the locked objects at their instances, then broadcast the
+	// event for re-execution.
+	s.notifyLockChange(members, true, source)
+	for _, member := range members {
+		target, connected := s.clients[member.Instance]
+		if !connected {
+			continue
+		}
+		target.out.send(wire.Envelope{Msg: wire.Exec{
+			EventID:    eventID,
+			TargetPath: member.Path,
+			Name:       m.Name,
+			Args:       m.Args,
+			Origin:     source,
+		}})
+		s.statExecsSent++
+		pe.waiting[member.Instance]++
+	}
+	cl.out.send(wire.Envelope{RefSeq: seq, Msg: wire.EventResult{OK: true}})
+	if len(pe.waiting) == 0 {
+		// All members belonged to disconnected instances.
+		s.unlockEvent(pe)
+		return
+	}
+	s.pendingEvents[eventID] = pe
+}
+
+// handleExecAck records one member instance's completion of an Exec.
+func (s *Server) handleExecAck(cl *client, m wire.ExecAck) {
+	pe, ok := s.pendingEvents[m.EventID]
+	if !ok {
+		return // stale ack (event already resolved by a disconnect)
+	}
+	if pe.waiting[cl.id] == 0 {
+		return // ack from an instance we were not waiting for
+	}
+	pe.waiting[cl.id]--
+	if pe.waiting[cl.id] == 0 {
+		delete(pe.waiting, cl.id)
+	}
+	if len(pe.waiting) == 0 {
+		s.finishEvent(m.EventID, pe)
+	}
+}
+
+func (s *Server) finishEvent(id uint64, pe *pendingEvent) {
+	delete(s.pendingEvents, id)
+	s.unlockEvent(pe)
+}
+
+func (s *Server) unlockEvent(pe *pendingEvent) {
+	s.locks.UnlockGroup(pe.members, pe.owner)
+	s.notifyLockChange(pe.members, false, pe.source)
+}

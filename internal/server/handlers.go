@@ -1,0 +1,335 @@
+package server
+
+import (
+	"fmt"
+
+	"cosoft/internal/couple"
+	"cosoft/internal/lock"
+	"cosoft/internal/perm"
+	"cosoft/internal/wire"
+)
+
+// handle dispatches one message from a registered client. It runs on the
+// state loop.
+func (s *Server) handle(cl *client, env wire.Envelope) {
+	switch m := env.Msg.(type) {
+	case wire.Declare:
+		s.reply(cl, env.Seq, s.reg.DeclareObject(cl.id, m.Path, m.Class))
+	case wire.Retract:
+		s.handleRetract(cl, env.Seq, m)
+	case wire.Deregister:
+		s.dropClient(cl, "deregistered")
+		s.reply(cl, env.Seq, nil)
+	case wire.Couple:
+		s.handleCouple(cl, env.Seq, m)
+	case wire.Decouple:
+		s.handleDecouple(cl, env.Seq, m)
+	case wire.Event:
+		s.handleEvent(cl, env.Seq, m)
+	case wire.ExecAck:
+		s.handleExecAck(cl, m)
+	case wire.CopyTo:
+		s.handleCopyTo(cl, env.Seq, m)
+	case wire.CopyFrom:
+		s.handleCopyFrom(cl, env.Seq, m)
+	case wire.RemoteCopy:
+		s.handleRemoteCopy(cl, env.Seq, m)
+	case wire.StateReply:
+		s.handleStateReply(cl, m)
+	case wire.Command:
+		s.handleCommand(cl, env.Seq, m)
+	case wire.FetchState:
+		s.handleFetchState(cl, env.Seq, m)
+	case wire.Undo:
+		s.handleUndoRedo(cl, env.Seq, m.Path, true)
+	case wire.Redo:
+		s.handleUndoRedo(cl, env.Seq, m.Path, false)
+	case wire.ListInstances:
+		s.handleListInstances(cl, env.Seq)
+	case wire.GrantPerm:
+		s.perms.Grant(perm.Rule{User: m.User, State: m.State, Right: perm.Right(m.Right)})
+		s.reply(cl, env.Seq, nil)
+	case wire.RevokePerm:
+		s.perms.Revoke(perm.Rule{User: m.User, State: m.State, Right: perm.Right(m.Right)})
+		s.reply(cl, env.Seq, nil)
+	default:
+		s.reply(cl, env.Seq, fmt.Errorf("server: unexpected message %s", env.Msg.MsgType()))
+	}
+}
+
+// reply sends OK or Err correlated to the request.
+func (s *Server) reply(cl *client, seq uint64, err error) {
+	if err != nil {
+		cl.out.send(wire.Envelope{RefSeq: seq, Msg: wire.Err{Text: err.Error()}})
+		return
+	}
+	cl.out.send(wire.Envelope{RefSeq: seq, Msg: wire.OK{}})
+}
+
+// stateID renders the permission identifier of an object.
+func stateID(ref couple.ObjectRef) string {
+	return string(ref.Instance) + ":" + ref.Path
+}
+
+// checkPerm verifies cl's right on ref; rights on the client's own objects
+// are implicit.
+func (s *Server) checkPerm(cl *client, ref couple.ObjectRef, right perm.Right) error {
+	if ref.Instance == cl.id {
+		return nil
+	}
+	if !s.perms.Allowed(cl.user, stateID(ref), right) {
+		return fmt.Errorf("server: %w: user %q lacks %s on %s", errPerm, cl.user, right, stateID(ref))
+	}
+	return nil
+}
+
+// checkDeclared verifies the object is registered as couplable and returns
+// its class.
+func (s *Server) checkDeclared(ref couple.ObjectRef) (string, error) {
+	class, ok := s.reg.ObjectClass(ref)
+	if !ok {
+		return "", fmt.Errorf("server: object %s not declared", stateID(ref))
+	}
+	return class, nil
+}
+
+func (s *Server) handleRetract(cl *client, seq uint64, m wire.Retract) {
+	ref := couple.ObjectRef{Instance: cl.id, Path: m.Path}
+	removed := s.graph.RemoveObject(ref)
+	for _, l := range removed {
+		s.broadcastLink(l, false)
+	}
+	s.reg.RetractObject(cl.id, m.Path)
+	s.history.Forget(ref)
+	s.reply(cl, seq, nil)
+}
+
+func (s *Server) handleCouple(cl *client, seq uint64, m wire.Couple) {
+	if err := s.coupleRefs(cl, m.From, m.To); err != nil {
+		s.reply(cl, seq, err)
+		return
+	}
+	s.reply(cl, seq, nil)
+}
+
+// coupleRefs validates and installs a link created by cl. It implements
+// both the local Couple primitive and RemoteCouple: the creator need not own
+// either endpoint (§3.3 "allow a third application instance to couple
+// objects in remote instances").
+func (s *Server) coupleRefs(cl *client, from, to couple.ObjectRef) error {
+	classFrom, err := s.checkDeclared(from)
+	if err != nil {
+		return err
+	}
+	classTo, err := s.checkDeclared(to)
+	if err != nil {
+		return err
+	}
+	if err := s.checkPerm(cl, from, perm.RightCouple); err != nil {
+		return err
+	}
+	if err := s.checkPerm(cl, to, perm.RightCouple); err != nil {
+		return err
+	}
+	if _, ok := s.checker.Direct(classFrom, classTo); !ok {
+		return fmt.Errorf("server: classes %q and %q are not compatible", classFrom, classTo)
+	}
+	l := couple.Link{From: from, To: to, Creator: cl.id}
+	if err := s.graph.AddLink(l); err != nil {
+		return err
+	}
+	// Replicate the complete transitive closure: every instance owning a
+	// member of the merged group receives every link of the group, so that
+	// "objects already connected to o2 are added to the list of targets, and
+	// objects already connected to o1 are added to the source" (§3.2).
+	// AddLink is idempotent at the mirrors, so re-sending known links is
+	// harmless.
+	members := s.graph.Group(l.From)
+	linkSet := make(map[couple.Link]struct{})
+	for _, m := range members {
+		for _, gl := range s.graph.LinksOf(m) {
+			linkSet[gl] = struct{}{}
+		}
+	}
+	for gl := range linkSet {
+		s.notifyLink(members, gl, true)
+	}
+	return nil
+}
+
+func (s *Server) handleDecouple(cl *client, seq uint64, m wire.Decouple) {
+	if err := s.checkPerm(cl, m.From, perm.RightCouple); err != nil {
+		s.reply(cl, seq, err)
+		return
+	}
+	if err := s.checkPerm(cl, m.To, perm.RightCouple); err != nil {
+		s.reply(cl, seq, err)
+		return
+	}
+	// Collect the group *before* removal so both halves hear about it.
+	members := s.graph.Group(m.From)
+	// The notification must carry the direction the stored link actually
+	// has, or the members' replicated coupling info keeps a stale entry.
+	var l couple.Link
+	switch {
+	case s.graph.RemoveLink(m.From, m.To):
+		l = couple.Link{From: m.From, To: m.To, Creator: cl.id}
+	case s.graph.RemoveLink(m.To, m.From):
+		l = couple.Link{From: m.To, To: m.From, Creator: cl.id}
+	default:
+		s.reply(cl, seq, fmt.Errorf("server: no link between %s and %s", stateID(m.From), stateID(m.To)))
+		return
+	}
+	s.notifyLink(members, l, false)
+	s.reply(cl, seq, nil)
+}
+
+// broadcastLink notifies every instance owning an object in the link's
+// group, so coupling information stays replicated at the members (§3.2).
+// Both endpoints' groups are notified: after a removal the two halves are
+// separate components, and each must hear about the change.
+func (s *Server) broadcastLink(l couple.Link, added bool) {
+	members := s.graph.Group(l.From)
+	members = append(members, s.graph.Group(l.To)...)
+	s.notifyLink(members, l, added)
+}
+
+func (s *Server) notifyLink(members []couple.ObjectRef, l couple.Link, added bool) {
+	seen := make(map[couple.InstanceID]bool)
+	for _, m := range members {
+		if seen[m.Instance] {
+			continue
+		}
+		seen[m.Instance] = true
+		if c, ok := s.clients[m.Instance]; ok {
+			if added {
+				c.out.send(wire.Envelope{Msg: wire.LinkAdded{Link: l}})
+			} else {
+				c.out.send(wire.Envelope{Msg: wire.LinkRemoved{Link: l}})
+			}
+		}
+	}
+}
+
+func (s *Server) handleCommand(cl *client, seq uint64, m wire.Command) {
+	targets := m.Targets
+	if len(targets) == 0 {
+		for id := range s.clients {
+			if id != cl.id {
+				targets = append(targets, id)
+			}
+		}
+	}
+	deliver := wire.CommandDeliver{Name: m.Name, From: cl.id, Payload: m.Payload}
+	for _, id := range targets {
+		c, ok := s.clients[id]
+		if !ok {
+			s.reply(cl, seq, fmt.Errorf("server: unknown target instance %q", id))
+			return
+		}
+		c.out.send(wire.Envelope{Msg: deliver})
+	}
+	s.reply(cl, seq, nil)
+}
+
+func (s *Server) handleListInstances(cl *client, seq uint64) {
+	var list wire.InstanceList
+	for _, id := range s.reg.Instances() {
+		rec, err := s.reg.Lookup(id)
+		if err != nil {
+			continue
+		}
+		info := wire.InstanceInfo{ID: rec.ID, AppType: rec.AppType, Host: rec.Host, User: rec.User}
+		for path, class := range rec.Objects {
+			info.Objects = append(info.Objects, wire.DeclaredObject{Path: path, Class: class})
+		}
+		sortDeclared(info.Objects)
+		list.Instances = append(list.Instances, info)
+	}
+	cl.out.send(wire.Envelope{RefSeq: seq, Msg: list})
+}
+
+func sortDeclared(objs []wire.DeclaredObject) {
+	for i := 1; i < len(objs); i++ {
+		for j := i; j > 0 && objs[j].Path < objs[j-1].Path; j-- {
+			objs[j], objs[j-1] = objs[j-1], objs[j]
+		}
+	}
+}
+
+// dropClient removes a disconnected or deregistering instance: its couple
+// links are removed (the automatic decoupling of §3.2), its locks are
+// released, pending work is resolved, and its records are dropped.
+func (s *Server) dropClient(cl *client, reason string) {
+	if _, ok := s.clients[cl.id]; !ok {
+		return // already dropped
+	}
+	s.logf("server: %s leaving (%s)", cl.id, reason)
+	delete(s.clients, cl.id)
+
+	// Decouple everything the instance participated in, notifying survivors.
+	for _, l := range s.graph.RemoveInstance(cl.id) {
+		peer := l.From
+		if peer.Instance == cl.id {
+			peer = l.To
+		}
+		if peer.Instance != cl.id {
+			s.notifyLink(s.graph.Group(peer), l, false)
+			// The peer itself must hear it too even if now alone.
+			if c, ok := s.clients[peer.Instance]; ok {
+				c.out.send(wire.Envelope{Msg: wire.LinkRemoved{Link: l}})
+			}
+		}
+	}
+
+	// Resolve pending events: events it originated are finished; events
+	// awaiting its ack are acked by absence.
+	for id, pe := range s.pendingEvents {
+		if pe.origin == cl.id {
+			s.finishEvent(id, pe)
+			continue
+		}
+		if pe.waiting[cl.id] > 0 {
+			delete(pe.waiting, cl.id)
+			if len(pe.waiting) == 0 {
+				s.finishEvent(id, pe)
+			}
+		}
+	}
+	// Resolve pending state fetches involving the instance.
+	for id, f := range s.pendingFetch {
+		if f.target == cl.id {
+			s.failFetch(id, f, fmt.Sprintf("instance %s disconnected", cl.id))
+		} else if f.requester == cl.id {
+			delete(s.pendingFetch, id)
+		}
+	}
+	s.locks.ReleaseInstance(cl.id)
+	s.history.ForgetInstance(cl.id)
+	s.reg.Deregister(cl.id)
+}
+
+// notifyLockChange tells each instance owning locked members to disable or
+// re-enable those widgets.
+func (s *Server) notifyLockChange(members []couple.ObjectRef, locked bool, skip couple.ObjectRef) {
+	perInstance := make(map[couple.InstanceID][]string)
+	for _, m := range members {
+		if m == skip {
+			continue
+		}
+		perInstance[m.Instance] = append(perInstance[m.Instance], m.Path)
+	}
+	for id, paths := range perInstance {
+		if c, ok := s.clients[id]; ok {
+			c.out.send(wire.Envelope{Msg: wire.SetLocks{Paths: paths, Locked: locked}})
+		}
+	}
+}
+
+// lockGroup applies the configured group-locking variant.
+func (s *Server) lockGroup(refs []couple.ObjectRef, owner lock.Owner) (bool, int) {
+	if s.opts.OrderedLocking {
+		return s.locks.TryLockGroupOrdered(refs, owner)
+	}
+	return s.locks.TryLockGroup(refs, owner)
+}

@@ -1,0 +1,358 @@
+// Package server implements the central controller of the COSOFT
+// architecture (Figure 4): a single coordination point that holds the four
+// server databases — access permissions, registration records, historical UI
+// states, and the lock table — and implements centralized-control ordering
+// of events ("users send their requests for operations to the controller,
+// and then the controller broadcasts these operations to all users", §2.1).
+//
+// All server state is mutated by one goroutine fed through a request
+// channel, so event ordering is the arrival order at the loop — the
+// serialization guarantee the floor-control design relies on.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cosoft/internal/compat"
+	"cosoft/internal/couple"
+	"cosoft/internal/hist"
+	"cosoft/internal/lock"
+	"cosoft/internal/perm"
+	"cosoft/internal/registry"
+	"cosoft/internal/widget"
+	"cosoft/internal/wire"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Classes is the widget class registry used for compatibility checks.
+	// Nil means the standard class set.
+	Classes *widget.ClassRegistry
+	// Correspondences holds declared cross-class attribute mappings. Nil
+	// means none (same-class compatibility only).
+	Correspondences *compat.Correspondences
+	// HistoryDepth bounds the per-object historical-state stacks
+	// (0 = default).
+	HistoryDepth int
+	// OrderedLocking selects the deterministic-order group-locking variant
+	// instead of the paper's sequential algorithm (ablation switch).
+	OrderedLocking bool
+	// Logf receives diagnostic output; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Server is the central coupling server.
+type Server struct {
+	opts    Options
+	checker *compat.Checker
+	reg     *registry.Store
+	graph   *couple.Graph
+	locks   *lock.Table
+	history *hist.DB
+	perms   *perm.Table
+
+	reqs chan func()
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	// State below is owned by the loop goroutine.
+	clients       map[couple.InstanceID]*client
+	pendingEvents map[uint64]*pendingEvent
+	pendingFetch  map[uint64]*fetch
+	nextEventID   uint64
+	nextFetchID   uint64
+
+	// Metrics (loop-owned; snapshot via Stats).
+	statEvents    uint64
+	statLockFails uint64
+	statExecsSent uint64
+	statCopies    uint64
+
+	closeOnce sync.Once
+}
+
+// Stats is a snapshot of server counters.
+type Stats struct {
+	// Events is the number of Event messages processed.
+	Events uint64
+	// LockFailures counts events rejected because the group lock failed.
+	LockFailures uint64
+	// ExecsSent counts Exec broadcasts.
+	ExecsSent uint64
+	// Copies counts completed state transfers.
+	Copies uint64
+	// Instances is the number of registered instances.
+	Instances int
+	// Links is the number of couple links.
+	Links int
+}
+
+// client is the server-side view of one connected instance.
+type client struct {
+	id   couple.InstanceID
+	user string
+	conn *wire.Conn
+	out  *outbox
+}
+
+// New returns a started server. Call Close to stop it.
+func New(opts Options) *Server {
+	if opts.Classes == nil {
+		opts.Classes = widget.NewClassRegistry()
+	}
+	if opts.Correspondences == nil {
+		opts.Correspondences = compat.NewCorrespondences()
+	}
+	s := &Server{
+		opts:          opts,
+		checker:       compat.NewChecker(opts.Classes, opts.Correspondences),
+		reg:           registry.NewStore(),
+		graph:         couple.NewGraph(),
+		locks:         lock.NewTable(),
+		history:       hist.NewDB(opts.HistoryDepth),
+		perms:         perm.NewTable(),
+		reqs:          make(chan func(), 1024),
+		quit:          make(chan struct{}),
+		clients:       make(map[couple.InstanceID]*client),
+		pendingEvents: make(map[uint64]*pendingEvent),
+		pendingFetch:  make(map[uint64]*fetch),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// loop runs every state mutation in one goroutine.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case fn := <-s.reqs:
+			fn()
+		case <-s.quit:
+			// Drain anything already queued, then stop.
+			for {
+				select {
+				case fn := <-s.reqs:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// post schedules fn on the state loop. It reports false after Close.
+func (s *Server) post(fn func()) bool {
+	select {
+	case <-s.quit:
+		return false
+	default:
+	}
+	select {
+	case s.reqs <- fn:
+		return true
+	case <-s.quit:
+		return false
+	}
+}
+
+// Serve accepts connections from l until the listener fails or the server is
+// closed. Each connection is handled on its own goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil
+			default:
+				return fmt.Errorf("server: accept: %w", err)
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(wire.NewConn(conn))
+		}()
+	}
+}
+
+// HandleConn serves a single pre-established connection (in-process
+// transports). It returns when the connection closes.
+func (s *Server) HandleConn(c *wire.Conn) {
+	s.handleConn(c)
+}
+
+// Close stops the server. Connected clients see their connections closed.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		// Ask the loop to close all client connections, then stop it.
+		done := make(chan struct{})
+		if s.post(func() {
+			for _, c := range s.clients {
+				c.out.close()
+				c.conn.Close()
+			}
+			close(done)
+		}) {
+			<-done
+		}
+		close(s.quit)
+	})
+	s.wg.Wait()
+}
+
+// Stats returns a consistent snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	result := make(chan Stats, 1)
+	if !s.post(func() {
+		result <- Stats{
+			Events:       s.statEvents,
+			LockFailures: s.statLockFails,
+			ExecsSent:    s.statExecsSent,
+			Copies:       s.statCopies,
+			Instances:    s.reg.Len(),
+			Links:        s.graph.Len(),
+		}
+	}) {
+		return Stats{}
+	}
+	return <-result
+}
+
+// Permissions returns the server's permission table for administrative
+// setup before instances connect.
+func (s *Server) Permissions() *perm.Table { return s.perms }
+
+// handleConn runs the read loop for one connection: the first message must
+// be Register; afterwards messages are posted to the state loop.
+func (s *Server) handleConn(c *wire.Conn) {
+	env, err := c.Read()
+	if err != nil {
+		c.Close()
+		return
+	}
+	reg, ok := env.Msg.(wire.Register)
+	if !ok {
+		_ = c.Write(wire.Envelope{RefSeq: env.Seq, Msg: wire.Err{Text: "server: first message must be Register"}})
+		c.Close()
+		return
+	}
+	cl := &client{
+		user: reg.User,
+		conn: c,
+		out:  newOutbox(c),
+	}
+	registered := make(chan bool, 1)
+	if !s.post(func() {
+		cl.id = s.reg.NewID(reg.AppType)
+		rec := registry.Record{ID: cl.id, AppType: reg.AppType, Host: reg.Host, User: reg.User}
+		if err := s.reg.Register(rec); err != nil {
+			registered <- false
+			return
+		}
+		s.clients[cl.id] = cl
+		cl.out.send(wire.Envelope{RefSeq: env.Seq, Msg: wire.Registered{ID: cl.id}})
+		registered <- true
+	}) {
+		c.Close()
+		return
+	}
+	if !<-registered {
+		_ = c.Write(wire.Envelope{RefSeq: env.Seq, Msg: wire.Err{Text: "server: registration failed"}})
+		c.Close()
+		return
+	}
+	s.logf("server: %s registered (user=%s host=%s)", cl.id, reg.User, reg.Host)
+
+	for {
+		env, err := c.Read()
+		if err != nil {
+			break
+		}
+		if !s.post(func() { s.handle(cl, env) }) {
+			break
+		}
+	}
+	// Connection gone: clean up on the loop.
+	s.post(func() { s.dropClient(cl, "connection closed") })
+	cl.out.close()
+	c.Close()
+}
+
+// outbox decouples the state loop from connection back-pressure: the loop
+// enqueues, a writer goroutine drains. The queue is unbounded — the server
+// is the ordering authority and must never block on a slow client, and the
+// simulation runs in one failure domain where memory is the accepted cost.
+type outbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []wire.Envelope
+	closed bool
+	done   chan struct{}
+}
+
+func newOutbox(c *wire.Conn) *outbox {
+	o := &outbox{done: make(chan struct{})}
+	o.cond = sync.NewCond(&o.mu)
+	go func() {
+		defer close(o.done)
+		for {
+			o.mu.Lock()
+			for len(o.queue) == 0 && !o.closed {
+				o.cond.Wait()
+			}
+			if len(o.queue) == 0 && o.closed {
+				o.mu.Unlock()
+				return
+			}
+			env := o.queue[0]
+			o.queue = o.queue[1:]
+			o.mu.Unlock()
+			if err := c.Write(env); err != nil {
+				// Connection broken; drop remaining output.
+				o.mu.Lock()
+				o.queue = nil
+				o.closed = true
+				o.mu.Unlock()
+				return
+			}
+		}
+	}()
+	return o
+}
+
+func (o *outbox) send(env wire.Envelope) {
+	o.mu.Lock()
+	if !o.closed {
+		o.queue = append(o.queue, env)
+		o.cond.Signal()
+	}
+	o.mu.Unlock()
+}
+
+func (o *outbox) close() {
+	o.mu.Lock()
+	o.closed = true
+	o.cond.Broadcast()
+	o.mu.Unlock()
+	<-o.done
+}
+
+// errPerm tags permission failures.
+var errPerm = errors.New("permission denied")
+
+// now returns the server clock reading used for history timestamps.
+func (s *Server) now() time.Time { return time.Now() }

@@ -1,0 +1,17 @@
+package server_test
+
+import (
+	"net"
+	"testing"
+)
+
+// netListen and netDial isolate the TCP specifics of TestServerOverTCP.
+
+func netListen(t *testing.T) (net.Listener, error) {
+	t.Helper()
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+func netDial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}

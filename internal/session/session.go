@@ -1,0 +1,205 @@
+// Package session implements moderated dynamic grouping on top of the
+// coupling primitives: named sessions whose membership changes at runtime,
+// managed by a facilitator — the paper's "guided group meeting" (§1), where
+// a moderator couples selected participants "according to sub-groups"
+// defined at runtime rather than before the session (§2.2, dynamic
+// population).
+//
+// A session is a star of couple links anchored at its first member; the
+// transitive closure of the couple relation turns the star into one coupling
+// group. The facilitator needs the couple right on every member object (or
+// an open permission table).
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cosoft/internal/client"
+	"cosoft/internal/couple"
+)
+
+// Errors returned by session operations.
+var (
+	ErrExists    = errors.New("session: session already exists")
+	ErrNotFound  = errors.New("session: no such session")
+	ErrMember    = errors.New("session: already a member")
+	ErrNotMember = errors.New("session: not a member")
+)
+
+// Facilitator manages named sessions through one coupling client (the
+// moderator's instance — in the classroom, the teacher's environment).
+type Facilitator struct {
+	cli *client.Client
+
+	mu       sync.Mutex
+	sessions map[string]*state
+}
+
+// state tracks one session's members in join order. The anchor (first
+// member) carries the star's links.
+type state struct {
+	members []couple.ObjectRef
+}
+
+// NewFacilitator returns a facilitator using the given client for the
+// remote couple/decouple operations.
+func NewFacilitator(cli *client.Client) *Facilitator {
+	return &Facilitator{cli: cli, sessions: make(map[string]*state)}
+}
+
+// Create registers an empty session.
+func (f *Facilitator) Create(name string) error {
+	if name == "" {
+		return errors.New("session: empty name")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.sessions[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	f.sessions[name] = &state{}
+	return nil
+}
+
+// Add joins an object to the session: the facilitator couples it with the
+// session's anchor, which (by transitive closure) couples it with every
+// member.
+func (f *Facilitator) Add(name string, ref couple.ObjectRef) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.sessions[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	for _, m := range s.members {
+		if m == ref {
+			return fmt.Errorf("%w: %s", ErrMember, ref)
+		}
+	}
+	if len(s.members) > 0 {
+		if err := f.cli.RemoteCouple(s.members[0], ref); err != nil {
+			return fmt.Errorf("session: coupling %s into %q: %w", ref, name, err)
+		}
+	}
+	s.members = append(s.members, ref)
+	return nil
+}
+
+// AddWithSync joins an object to the session like Add, but first aligns the
+// newcomer's state with the session's anchor by a remote state copy — the
+// "initially synchronized by copying the UI state" step (§3.2) applied to
+// late joiners.
+func (f *Facilitator) AddWithSync(name string, ref couple.ObjectRef) error {
+	f.mu.Lock()
+	var anchor *couple.ObjectRef
+	if s, ok := f.sessions[name]; ok && len(s.members) > 0 {
+		a := s.members[0]
+		anchor = &a
+	}
+	f.mu.Unlock()
+	if anchor != nil {
+		if err := f.cli.RemoteCopy(*anchor, ref, false); err != nil {
+			return fmt.Errorf("session: aligning %s with %q: %w", ref, name, err)
+		}
+	}
+	return f.Add(name, ref)
+}
+
+// Remove takes an object out of the session. Removing the anchor re-anchors
+// the star: every remaining member is re-linked to the new anchor before
+// the old anchor's links are dropped, so the survivors stay one group
+// throughout.
+func (f *Facilitator) Remove(name string, ref couple.ObjectRef) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.sessions[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	idx := -1
+	for i, m := range s.members {
+		if m == ref {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: %s", ErrNotMember, ref)
+	}
+	if idx == 0 && len(s.members) > 2 {
+		// Re-anchor on the second member first.
+		newAnchor := s.members[1]
+		for _, m := range s.members[2:] {
+			if err := f.cli.RemoteCouple(newAnchor, m); err != nil {
+				return fmt.Errorf("session: re-anchoring %q: %w", name, err)
+			}
+		}
+	}
+	// Drop the departing member's links into the group.
+	for i, m := range s.members {
+		if i == idx {
+			continue
+		}
+		// Only links that exist need removing: anchor links and, after
+		// re-anchoring, second-member links. RemoteDecouple on a missing
+		// link reports an error we can ignore.
+		if err := f.cli.RemoteDecouple(ref, m); err != nil {
+			if err2 := f.cli.RemoteDecouple(m, ref); err2 != nil {
+				continue // no link in either direction
+			}
+		}
+	}
+	s.members = append(s.members[:idx], s.members[idx+1:]...)
+	return nil
+}
+
+// Dissolve ends the session, decoupling every member.
+func (f *Facilitator) Dissolve(name string) error {
+	f.mu.Lock()
+	s, ok := f.sessions[name]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	members := append([]couple.ObjectRef(nil), s.members...)
+	delete(f.sessions, name)
+	f.mu.Unlock()
+	// Remove all pairwise links that may exist (anchor stars plus
+	// re-anchoring leftovers).
+	for i := range members {
+		for j := i + 1; j < len(members); j++ {
+			if err := f.cli.RemoteDecouple(members[i], members[j]); err != nil {
+				_ = f.cli.RemoteDecouple(members[j], members[i]) //nolint:errcheck
+			}
+		}
+	}
+	return nil
+}
+
+// Members returns the session's member objects in join order.
+func (f *Facilitator) Members(name string) ([]couple.ObjectRef, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.sessions[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	out := make([]couple.ObjectRef, len(s.members))
+	copy(out, s.members)
+	return out, nil
+}
+
+// Sessions lists the session names, sorted.
+func (f *Facilitator) Sessions() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.sessions))
+	for n := range f.sessions {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

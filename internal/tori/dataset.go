@@ -1,0 +1,79 @@
+package tori
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cosoft/internal/db"
+)
+
+// BibliographyColumns is the schema of the synthetic bibliography dataset.
+func BibliographyColumns() []db.Column {
+	return []db.Column{
+		{Name: "author", Kind: db.KindString},
+		{Name: "title", Kind: db.KindString},
+		{Name: "journal", Kind: db.KindString},
+		{Name: "year", Kind: db.KindInt},
+	}
+}
+
+// BibliographyDesc is the standard query-form description for the dataset.
+func BibliographyDesc() FormDesc {
+	return FormDesc{
+		Title: "Bibliography retrieval",
+		Table: "pubs",
+		Attributes: []AttrDesc{
+			{Name: "author", Label: "Author"},
+			{Name: "title", Label: "Title"},
+			{Name: "journal", Label: "Journal"},
+			{Name: "year", Label: "Year"},
+		},
+		Views: map[string][]string{
+			"by-author": {"author"},
+			"by-venue":  {"journal", "year"},
+		},
+	}
+}
+
+var (
+	bibAuthors = []string{
+		"zhao", "hoppe", "lamport", "hoare", "knuth", "liskov", "gray",
+		"stonebraker", "dijkstra", "ritchie", "thompson", "engelbart",
+		"kay", "sutherland", "corbato", "hamming",
+	}
+	bibTopics = []string{
+		"Distributed Systems", "Groupware", "User Interfaces", "Databases",
+		"Operating Systems", "Hypertext", "Collaboration", "Networks",
+		"Synchronization", "Replication",
+	}
+	bibJournals = []string{
+		"CACM", "TOCS", "TODS", "TOG", "IEEE Computer", "ICDCS", "CSCW",
+		"CHI", "UIST",
+	}
+)
+
+// Bibliography builds a deterministic synthetic bibliography of n rows
+// (seeded), indexed on author — the controllable-cost corpus for the TORI
+// coupling experiment.
+func Bibliography(n int, seed int64) (*db.DB, error) {
+	d := db.New()
+	if err := d.CreateTable("pubs", BibliographyColumns()); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		author := bibAuthors[r.Intn(len(bibAuthors))]
+		title := fmt.Sprintf("%s Considered %s (%d)",
+			bibTopics[r.Intn(len(bibTopics))],
+			[]string{"Helpful", "Harmful", "Again", "at Scale"}[r.Intn(4)], i)
+		journal := bibJournals[r.Intn(len(bibJournals))]
+		year := fmt.Sprintf("%d", 1968+r.Intn(27))
+		if err := d.Insert("pubs", author, title, journal, year); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.CreateIndex("pubs", "author"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,208 @@
+package tori
+
+import (
+	"strings"
+	"testing"
+
+	"cosoft/internal/db"
+	"cosoft/internal/widget"
+)
+
+func newApp(t testing.TB, rows int) *App {
+	t.Helper()
+	database, err := Bibliography(rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := New(database, BibliographyDesc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestFormGeneration(t *testing.T) {
+	app := newApp(t, 50)
+	reg := app.Registry()
+	for _, path := range []string{
+		"/query", "/query/view", "/query/a_author/value", "/query/a_author/op",
+		"/query/a_year/caption", "/query/go",
+		"/result", "/result/rows", "/result/count", "/result/newquery",
+	} {
+		if _, err := reg.Lookup(path); err != nil {
+			t.Errorf("missing %s: %v", path, err)
+		}
+	}
+	// Operator menu carries TORI's comparison operators.
+	op, _ := reg.Lookup("/query/a_author/op")
+	items := op.Attr(widget.AttrItems).AsStringList()
+	if len(items) != len(db.Ops()) {
+		t.Errorf("op menu = %v", items)
+	}
+	// View menu includes "all" plus the declared views, sorted.
+	view, _ := reg.Lookup("/query/view")
+	got := view.Attr(widget.AttrItems).AsStringList()
+	want := []string{"all", "by-author", "by-venue"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("views = %v", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(db.New(), FormDesc{}); err == nil {
+		t.Error("empty description must fail")
+	}
+}
+
+func TestQueryExecution(t *testing.T) {
+	app := newApp(t, 200)
+	if err := app.SetField("author", "zhao"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	rows := app.ResultRows()
+	if len(rows) == 0 {
+		t.Fatal("no results for author=zhao")
+	}
+	for _, row := range rows {
+		if !strings.HasPrefix(row, "zhao |") {
+			t.Errorf("row %q does not match predicate", row)
+		}
+	}
+	if app.QueriesRun() != 1 {
+		t.Errorf("queries = %d", app.QueriesRun())
+	}
+	count, _ := app.Registry().Lookup("/result/count")
+	if !strings.HasSuffix(count.Attr(widget.AttrLabel).AsString(), "rows") {
+		t.Errorf("count label = %q", count.Attr(widget.AttrLabel))
+	}
+}
+
+func TestOperatorsInForm(t *testing.T) {
+	app := newApp(t, 200)
+	if err := app.SetField("year", "1980"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.SetOp("year", db.OpLT); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range app.ResultRows() {
+		cells := strings.Split(row, " | ")
+		if cells[3] >= "1980" {
+			t.Errorf("row year %s not < 1980", cells[3])
+		}
+	}
+}
+
+func TestViewsRestrictPredicates(t *testing.T) {
+	app := newApp(t, 200)
+	// Fill two fields, then select a view that only includes author: the
+	// journal predicate must be ignored.
+	if err := app.SetField("author", "zhao"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.SetField("journal", "NOSUCH"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(app.ResultRows()) != 0 {
+		t.Fatal("conjunction should have matched nothing")
+	}
+	if err := app.SelectView("by-author"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(app.ResultRows()) == 0 {
+		t.Error("by-author view must ignore the journal predicate")
+	}
+}
+
+func TestNewQueryFromSelection(t *testing.T) {
+	app := newApp(t, 200)
+	if err := app.SetField("author", "zhao"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	rows := app.ResultRows()
+	if len(rows) == 0 {
+		t.Fatal("need results")
+	}
+	if err := app.SelectResult(rows[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.NewQueryFromSelection(); err != nil {
+		t.Fatal(err)
+	}
+	cells := strings.Split(rows[0], " | ")
+	if got := app.Field("author"); got != cells[0] {
+		t.Errorf("author field = %q, want %q", got, cells[0])
+	}
+	if got := app.Field("title"); got != cells[1] {
+		t.Errorf("title field = %q, want %q", got, cells[1])
+	}
+	// Re-submitting the instantiated query matches at least the row itself.
+	if err := app.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(app.ResultRows()) == 0 {
+		t.Error("instantiated query found nothing")
+	}
+}
+
+func TestNewQueryWithoutSelectionIsNoop(t *testing.T) {
+	app := newApp(t, 10)
+	if err := app.NewQueryFromSelection(); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.Field("author"); got != "" {
+		t.Errorf("field = %q", got)
+	}
+}
+
+func TestBibliographyDeterministic(t *testing.T) {
+	a, err := Bibliography(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bibliography(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, _ := a.Run(db.Query{Table: "pubs"})
+	qb, _ := b.Run(db.Query{Table: "pubs"})
+	if len(qa.Rows) != 100 || len(qb.Rows) != 100 {
+		t.Fatal("wrong sizes")
+	}
+	for i := range qa.Rows {
+		if strings.Join(qa.Rows[i], "|") != strings.Join(qb.Rows[i], "|") {
+			t.Fatal("dataset not deterministic")
+		}
+	}
+}
+
+func TestRowsFoundAccumulates(t *testing.T) {
+	app := newApp(t, 100)
+	if app.RowsFound() != 0 {
+		t.Fatal("fresh app has rows")
+	}
+	if err := app.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if app.RowsFound() == 0 {
+		t.Error("RowsFound did not accumulate")
+	}
+	if app.Database() == nil {
+		t.Error("Database nil")
+	}
+}

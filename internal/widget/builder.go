@@ -1,0 +1,186 @@
+package widget
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cosoft/internal/attr"
+)
+
+// Build constructs a widget subtree from a declarative textual spec, the
+// stand-in for CENTER's interactive builder ("an interactive builder for
+// users who are not experienced programmers"). The spec is line-oriented;
+// indentation (two spaces per level) expresses nesting:
+//
+//	form query title="Query"
+//	  label caption label="Author"
+//	  textfield author width=40
+//	  menu op items=[eq,substring,like-one-of] selection="eq"
+//	  button submit label="Search"
+//
+// Each line is: class name [attr=value ...]. Values are quoted strings,
+// integers, floats, true/false, or [a,b,c] string lists. Blank lines and
+// lines starting with '#' are ignored. The first line's widget is created
+// under parentPath and returned.
+func Build(r *Registry, parentPath, spec string) (*Widget, error) {
+	type frame struct {
+		path  string
+		depth int
+	}
+	var root *Widget
+	stack := []frame{{path: parentPath, depth: -1}}
+	for lineNo, raw := range strings.Split(spec, "\n") {
+		line := strings.TrimRight(raw, " \t")
+		trimmed := strings.TrimLeft(line, " ")
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		indent := len(line) - len(trimmed)
+		if indent%2 != 0 {
+			return nil, fmt.Errorf("widget: line %d: odd indentation", lineNo+1)
+		}
+		depth := indent / 2
+		for len(stack) > 1 && stack[len(stack)-1].depth >= depth {
+			stack = stack[:len(stack)-1]
+		}
+		if stack[len(stack)-1].depth != depth-1 {
+			return nil, fmt.Errorf("widget: line %d: indentation jumps levels", lineNo+1)
+		}
+		class, name, attrs, err := parseSpecLine(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("widget: line %d: %w", lineNo+1, err)
+		}
+		w, err := r.Create(stack[len(stack)-1].path, name, class, attrs)
+		if err != nil {
+			return nil, fmt.Errorf("widget: line %d: %w", lineNo+1, err)
+		}
+		if root == nil {
+			root = w
+		}
+		stack = append(stack, frame{path: w.Path(), depth: depth})
+	}
+	if root == nil {
+		return nil, fmt.Errorf("widget: empty spec")
+	}
+	return root, nil
+}
+
+// MustBuild is Build for static UI construction; it panics on error.
+func MustBuild(r *Registry, parentPath, spec string) *Widget {
+	w, err := Build(r, parentPath, spec)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func parseSpecLine(line string) (class, name string, attrs attr.Set, err error) {
+	tokens, err := tokenizeSpecLine(line)
+	if err != nil {
+		return "", "", nil, err
+	}
+	if len(tokens) < 2 {
+		return "", "", nil, fmt.Errorf("want 'class name [attr=value ...]', got %q", line)
+	}
+	class, name = tokens[0], tokens[1]
+	attrs = attr.NewSet()
+	for _, tok := range tokens[2:] {
+		eq := strings.IndexByte(tok, '=')
+		if eq <= 0 {
+			return "", "", nil, fmt.Errorf("bad attribute %q", tok)
+		}
+		v, err := parseSpecValue(tok[eq+1:])
+		if err != nil {
+			return "", "", nil, fmt.Errorf("attribute %q: %w", tok[:eq], err)
+		}
+		attrs.Put(tok[:eq], v)
+	}
+	return class, name, attrs, nil
+}
+
+// tokenizeSpecLine splits on spaces, keeping quoted strings and bracketed
+// lists intact.
+func tokenizeSpecLine(line string) ([]string, error) {
+	var tokens []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		inQuote, inBracket := false, false
+		for i < len(line) {
+			switch line[i] {
+			case '"':
+				inQuote = !inQuote
+			case '[':
+				if !inQuote {
+					inBracket = true
+				}
+			case ']':
+				if !inQuote {
+					inBracket = false
+				}
+			case ' ':
+				if !inQuote && !inBracket {
+					goto done
+				}
+			}
+			i++
+		}
+	done:
+		if inQuote {
+			return nil, fmt.Errorf("unterminated quote in %q", line)
+		}
+		if inBracket {
+			return nil, fmt.Errorf("unterminated bracket in %q", line)
+		}
+		tokens = append(tokens, line[start:i])
+	}
+	return tokens, nil
+}
+
+func parseSpecValue(s string) (attr.Value, error) {
+	switch {
+	case s == "":
+		return attr.Value{}, fmt.Errorf("empty value")
+	case s == "true":
+		return attr.Bool(true), nil
+	case s == "false":
+		return attr.Bool(false), nil
+	case s[0] == '"':
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return attr.Value{}, fmt.Errorf("bad string %s: %w", s, err)
+		}
+		return attr.String(unq), nil
+	case s[0] == '[':
+		if s[len(s)-1] != ']' {
+			return attr.Value{}, fmt.Errorf("bad list %s", s)
+		}
+		body := s[1 : len(s)-1]
+		if body == "" {
+			return attr.StringList(), nil
+		}
+		items := strings.Split(body, ",")
+		for i := range items {
+			items[i] = strings.TrimSpace(items[i])
+		}
+		return attr.StringList(items...), nil
+	case s[0] == '#':
+		return attr.Color(s), nil
+	default:
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return attr.Int(n), nil
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return attr.Float(f), nil
+		}
+		// Bare word: treat as string (color names, font names, ...).
+		return attr.String(s), nil
+	}
+}

@@ -1,0 +1,216 @@
+package widget
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cosoft/internal/attr"
+)
+
+// randomTree builds a random widget tree in reg under "/" and returns the
+// root path.
+func randomTree(r *rand.Rand, reg *Registry) string {
+	name := fmt.Sprintf("r%d", r.Intn(1<<30))
+	root := reg.MustCreate("/", name, "form", randomAttrs(r))
+	populate(r, reg, root.Path(), 2)
+	return root.Path()
+}
+
+var leafClasses = []string{"button", "label", "textfield", "toggle", "menu", "list", "scale", "canvas", "textarea", "separator"}
+
+func populate(r *rand.Rand, reg *Registry, parent string, depth int) {
+	n := r.Intn(4)
+	for i := 0; i < n; i++ {
+		if depth > 0 && r.Intn(3) == 0 {
+			w := reg.MustCreate(parent, fmt.Sprintf("f%d", i), "form", randomAttrs(r))
+			populate(r, reg, w.Path(), depth-1)
+			continue
+		}
+		class := leafClasses[r.Intn(len(leafClasses))]
+		reg.MustCreate(parent, fmt.Sprintf("c%d", i), class, randomAttrs(r))
+	}
+}
+
+func randomAttrs(r *rand.Rand) attr.Set {
+	s := attr.NewSet()
+	if r.Intn(2) == 0 {
+		s.Put(AttrTitle, attr.String(fmt.Sprintf("t%d", r.Intn(100))))
+	}
+	if r.Intn(2) == 0 {
+		s.Put(AttrWidth, attr.Int(int64(r.Intn(500))))
+	}
+	return s
+}
+
+// Property: capture -> encode -> decode -> rebuild reproduces the tree
+// exactly (full-state capture).
+func TestPropCaptureCodecBuildRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		reg := NewRegistry()
+		rootPath := randomTree(r, reg)
+		ts, err := reg.CaptureTree(rootPath, false)
+		if err != nil {
+			return false
+		}
+		decoded, rest, err := DecodeTreeState(AppendTreeState(nil, ts))
+		if err != nil || len(rest) != 0 || !decoded.Equal(ts) {
+			return false
+		}
+		reg2 := NewRegistry()
+		if _, err := reg2.BuildTree("/", "", decoded); err != nil {
+			return false
+		}
+		ts2, err := reg2.CaptureTree(rootPath, false)
+		if err != nil {
+			return false
+		}
+		return ts2.Equal(ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: feedback followed by its undo is an identity on the full widget
+// state, for every stateful class and random starting states.
+func TestPropFeedbackUndoIdentity(t *testing.T) {
+	type eventMaker func(r *rand.Rand) *Event
+	cases := []struct {
+		spec string
+		mk   eventMaker
+	}{
+		{"textfield w", func(r *rand.Rand) *Event {
+			return &Event{Path: "/w", Name: EventChanged,
+				Args: []attr.Value{attr.String(fmt.Sprintf("v%d", r.Intn(100)))}}
+		}},
+		{"toggle w", func(r *rand.Rand) *Event {
+			return &Event{Path: "/w", Name: EventToggled}
+		}},
+		{"menu w items=[a,b,c]", func(r *rand.Rand) *Event {
+			return &Event{Path: "/w", Name: EventSelect,
+				Args: []attr.Value{attr.String(string(rune('a' + r.Intn(3))))}}
+		}},
+		{"scale w min=0 max=100", func(r *rand.Rand) *Event {
+			return &Event{Path: "/w", Name: EventMoved,
+				Args: []attr.Value{attr.Int(int64(r.Intn(150) - 20))}}
+		}},
+		{"canvas w", func(r *rand.Rand) *Event {
+			return &Event{Path: "/w", Name: EventDraw,
+				Args: []attr.Value{attr.PointList(attr.Point{X: int32(r.Intn(10)), Y: int32(r.Intn(10))})}}
+		}},
+		{`textarea w text="hello world"`, func(r *rand.Rand) *Event {
+			return &Event{Path: "/w", Name: EventEdit,
+				Args: []attr.Value{attr.Int(int64(r.Intn(5))), attr.Int(int64(r.Intn(3))), attr.String("X")}}
+		}},
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, c := range cases {
+			reg := NewRegistry()
+			MustBuild(reg, "/", c.spec)
+			w, err := reg.Lookup("/w")
+			if err != nil {
+				return false
+			}
+			// Random warm-up events to randomize the starting state.
+			for i := 0; i < r.Intn(4); i++ {
+				_, _ = reg.Deliver(c.mk(r))
+			}
+			before := w.State()
+			undo, err := reg.ApplyFeedback(c.mk(r))
+			if err != nil {
+				continue // out-of-range edits are legal rejections
+			}
+			undo()
+			if !w.State().Equal(before) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the registry path index and the tree structure agree after any
+// sequence of creates and destroys.
+func TestPropPathIndexConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		reg := NewRegistry()
+		var live []string
+		for step := 0; step < 40; step++ {
+			if r.Intn(3) != 0 || len(live) == 0 {
+				parent := "/"
+				if len(live) > 0 && r.Intn(2) == 0 {
+					parent = live[r.Intn(len(live))]
+				}
+				name := fmt.Sprintf("w%d", step)
+				class := "form"
+				if r.Intn(2) == 0 {
+					class = "button"
+				}
+				if w, err := reg.Create(parent, name, class, nil); err == nil {
+					live = append(live, w.Path())
+				}
+			} else {
+				victim := live[r.Intn(len(live))]
+				if err := reg.Destroy(victim); err != nil {
+					return false
+				}
+				var kept []string
+				for _, p := range live {
+					if p != victim && !isUnder(p, victim) {
+						kept = append(kept, p)
+					}
+				}
+				live = kept
+			}
+			// Index must contain exactly root + live paths.
+			paths := reg.Paths()
+			if len(paths) != len(live)+1 {
+				return false
+			}
+			// Every path must be reachable by tree walk.
+			count := 0
+			if err := reg.Walk("/", func(*Widget) error { count++; return nil }); err != nil {
+				return false
+			}
+			if count != len(paths) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func isUnder(p, root string) bool {
+	return len(p) > len(root) && p[:len(root)] == root && p[len(root)] == '/'
+}
+
+func TestWidgetAccessors(t *testing.T) {
+	reg := NewRegistry()
+	w := reg.MustCreate("/", "b", "button", nil)
+	if w.Destroyed() {
+		t.Error("new widget reported destroyed")
+	}
+	var created []string
+	reg.OnCreate(func(w *Widget) { created = append(created, w.Path()) })
+	reg.MustCreate("/", "c", "label", nil)
+	if len(created) != 1 || created[0] != "/c" {
+		t.Errorf("OnCreate = %v", created)
+	}
+	if err := reg.Destroy("/b"); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Destroyed() {
+		t.Error("destroyed widget reported live")
+	}
+}

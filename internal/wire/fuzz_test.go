@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeMessage asserts the message decoder never panics on arbitrary
+// bodies of every known type, and that accepted messages re-encode to an
+// equal message.
+func FuzzDecodeMessage(f *testing.F) {
+	for _, m := range allMessages() {
+		f.Add(uint16(m.MsgType()), m.encode(nil))
+	}
+	f.Fuzz(func(t *testing.T, rawType uint16, body []byte) {
+		m, err := decodeMessage(Type(rawType), body)
+		if err != nil {
+			return
+		}
+		again, err := decodeMessage(m.MsgType(), m.encode(nil))
+		if err != nil {
+			t.Fatalf("re-decode of accepted message failed: %v", err)
+		}
+		if !messagesEqual(m, again) {
+			t.Fatalf("re-encode changed the message: %#v vs %#v", m, again)
+		}
+	})
+}
+
+// FuzzConnRead asserts the framed reader never panics on arbitrary streams.
+func FuzzConnRead(f *testing.F) {
+	env := Envelope{Seq: 3, Msg: OK{}}
+	var frame []byte
+	body := binary.LittleEndian.AppendUint16(nil, uint16(TOK))
+	body = binary.AppendUvarint(body, env.Seq)
+	body = binary.AppendUvarint(body, 0)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(body)))
+	frame = append(frame, body...)
+	f.Add(frame)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		a, b := Pipe()
+		defer a.Close()
+		defer b.Close()
+		go func() {
+			defer a.Close()
+			raw := make([]byte, len(stream))
+			copy(raw, stream)
+			// Feed the raw bytes beneath the framing layer.
+			if len(raw) > 0 {
+				_ = writeRaw(a, raw)
+			}
+		}()
+		for {
+			if _, err := b.Read(); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// writeRaw injects unframed bytes by writing a frame whose body is the raw
+// stream? No — it must bypass framing entirely, so it uses the underlying
+// connection.
+func writeRaw(c *Conn, raw []byte) error {
+	_, err := c.conn.Write(raw)
+	return err
+}

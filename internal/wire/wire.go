@@ -1,0 +1,136 @@
+// Package wire implements the framed binary protocol spoken between
+// application instances and the central coupling server.
+//
+// Frame layout:
+//
+//	[u32 length][u16 type][uvarint seq][uvarint refSeq][body]
+//
+// length counts everything after the length field. seq is a sender-assigned
+// message number; replies carry the request's seq in refSeq so callers can
+// correlate responses without per-message bookkeeping fields.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrame is the largest accepted frame body. Larger length prefixes are
+// treated as protocol errors rather than allocation requests.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// Envelope is one framed message with its correlation numbers.
+type Envelope struct {
+	// Seq is the sender-assigned message number (0 allowed for
+	// fire-and-forget messages).
+	Seq uint64
+	// RefSeq echoes the Seq of the request this message replies to; 0 when
+	// the message is not a reply.
+	RefSeq uint64
+	// Msg is the decoded payload.
+	Msg Message
+}
+
+// Conn wraps a stream connection with framing and concurrent-safe writes.
+// Reads must be performed by a single goroutine.
+type Conn struct {
+	wmu  sync.Mutex
+	rw   *bufio.ReadWriter
+	conn net.Conn
+}
+
+// NewConn wraps a net.Conn. The caller retains responsibility for closing.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		rw:   bufio.NewReadWriter(bufio.NewReader(c), bufio.NewWriter(c)),
+		conn: c,
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
+
+// Write encodes and sends one envelope. It is safe for concurrent use.
+func (c *Conn) Write(env Envelope) error {
+	if env.Msg == nil {
+		return errors.New("wire: nil message")
+	}
+	body := make([]byte, 0, 64)
+	body = binary.LittleEndian.AppendUint16(body, uint16(env.Msg.MsgType()))
+	body = binary.AppendUvarint(body, env.Seq)
+	body = binary.AppendUvarint(body, env.RefSeq)
+	body = env.Msg.encode(body)
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var lenbuf [4]byte
+	binary.LittleEndian.PutUint32(lenbuf[:], uint32(len(body)))
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.rw.Write(lenbuf[:]); err != nil {
+		return fmt.Errorf("wire: write frame length: %w", err)
+	}
+	if _, err := c.rw.Write(body); err != nil {
+		return fmt.Errorf("wire: write frame body: %w", err)
+	}
+	if err := c.rw.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// Read reads and decodes one envelope. It returns io.EOF (possibly wrapped)
+// when the peer closed cleanly between frames.
+func (c *Conn) Read() (Envelope, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(c.rw, lenbuf[:]); err != nil {
+		return Envelope{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenbuf[:])
+	if n > MaxFrame {
+		return Envelope{}, ErrFrameTooLarge
+	}
+	if n < 4 {
+		return Envelope{}, fmt.Errorf("wire: frame too short (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.rw, body); err != nil {
+		return Envelope{}, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	t := Type(binary.LittleEndian.Uint16(body))
+	body = body[2:]
+	seq, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return Envelope{}, errors.New("wire: bad seq")
+	}
+	body = body[sz:]
+	refSeq, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return Envelope{}, errors.New("wire: bad refSeq")
+	}
+	body = body[sz:]
+	msg, err := decodeMessage(t, body)
+	if err != nil {
+		return Envelope{}, err
+	}
+	return Envelope{Seq: seq, RefSeq: refSeq, Msg: msg}, nil
+}
+
+// Pipe returns a connected pair of Conns backed by net.Pipe, for in-process
+// transports in tests and benchmarks.
+func Pipe() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
