@@ -1,0 +1,30 @@
+# Development targets. `make verify` is the PR gate: vet plus race-checked
+# tests over the packages whose correctness rests on the server's
+# serialized-loop invariants.
+
+GO ?= go
+
+.PHONY: all build test race vet verify bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the coupling core: the server state loop, the lock table, and
+# the client runtime are the packages with real goroutine interleavings.
+race:
+	$(GO) test -race ./internal/server/... ./internal/lock/... ./internal/client/...
+
+verify: vet race
+
+# Regenerates BENCH_obs.json (the metrics trajectory) along with the paper
+# benchmarks.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

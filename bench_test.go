@@ -6,6 +6,8 @@ package cosoft_test
 // cmd/experiments binary prints the full sweeps.
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 	"time"
 
@@ -13,6 +15,7 @@ import (
 	"cosoft/internal/attr"
 	"cosoft/internal/client"
 	"cosoft/internal/experiments"
+	"cosoft/internal/obs"
 	"cosoft/internal/server"
 	"cosoft/internal/widget"
 )
@@ -231,5 +234,74 @@ func BenchmarkLockingVariants(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(cl.Srv.Stats().LockFailures), "lock-denials")
 		})
+	}
+}
+
+// BenchmarkEvent is the observability gate for the event hot path: the
+// metrics-off variant (obs.Disabled) must show no added allocations over the
+// seed event path, and the metrics-on variant emits the BENCH_obs.json
+// trajectory consumed by later performance PRs.
+func BenchmarkEvent(b *testing.B) {
+	for _, mode := range []string{"metrics-off", "metrics-on"} {
+		b.Run(mode, func(b *testing.B) {
+			var sink obs.Sink = obs.Disabled
+			var reg *obs.Registry
+			if mode == "metrics-on" {
+				reg = obs.NewRegistry()
+				sink = reg
+			}
+			cl, err := experiments.NewCluster(2, `textfield field value=""`, 0,
+				server.Options{Metrics: sink}, client.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			if err := cl.DeclareAll("/field"); err != nil {
+				b.Fatal(err)
+			}
+			if err := cl.CoupleStar("/field"); err != nil {
+				b.Fatal(err)
+			}
+			vals := []attr.Value{attr.String("benchmark payload")}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := &widget.Event{Path: "/field", Name: widget.EventChanged, Args: vals}
+				if _, err := experiments.DispatchRetry(cl.Clients[0], ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if reg != nil {
+				stats := cl.Srv.Stats()
+				b.ReportMetric(stats.EventRTT.P50, "p50-rtt-ns")
+				b.ReportMetric(stats.EventRTT.P99, "p99-rtt-ns")
+				writeBenchTrajectory(b, reg, stats)
+			}
+		})
+	}
+}
+
+// writeBenchTrajectory records the benchmark's metric snapshot so the perf
+// trajectory of successive PRs is diffable (BENCH_obs.json at the repo
+// root).
+func writeBenchTrajectory(b *testing.B, reg *obs.Registry, stats cosoft.ServerStats) {
+	out := struct {
+		Bench    string                 `json:"bench"`
+		N        int                    `json:"n"`
+		EventRTT cosoft.MetricsSummary  `json:"event_rtt_ns"`
+		Snapshot cosoft.MetricsSnapshot `json:"snapshot"`
+	}{
+		Bench:    "BenchmarkEvent/metrics-on",
+		N:        b.N,
+		EventRTT: stats.EventRTT,
+		Snapshot: reg.Snapshot(),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal trajectory: %v", err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_obs.json: %v", err)
 	}
 }

@@ -3,33 +3,49 @@
 // instances, holding the access permissions, registration records,
 // historical UI states, and lock table.
 //
+// With -metrics-addr set, an HTTP listener additionally serves the
+// observability surface:
+//
+//	/metrics          JSON snapshot of every counter, gauge and histogram
+//	/debug/vars       the same snapshot under expvar ("cosoft"), plus Go runtime vars
+//	/debug/pprof/     the standard pprof profiles
+//
 // Usage:
 //
-//	cosoftd [-listen :7817] [-history 32] [-ordered-locking] [-v]
+//	cosoftd [-listen :7817] [-metrics-addr :9090] [-history 32] [-ordered-locking] [-v]
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"cosoft/internal/obs"
 	"cosoft/internal/server"
 )
 
 func main() {
 	listen := flag.String("listen", ":7817", "TCP address to listen on")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address for the metrics/expvar/pprof endpoints (empty = disabled)")
 	history := flag.Int("history", 0, "per-object historical-state depth (0 = default)")
 	ordered := flag.Bool("ordered-locking", false, "use deterministic-order group locking instead of the paper's sequential algorithm")
 	verbose := flag.Bool("v", false, "log registrations and departures")
 	flag.Parse()
 
+	metrics := obs.NewRegistry()
 	opts := server.Options{
 		HistoryDepth:   *history,
 		OrderedLocking: *ordered,
+		Metrics:        metrics,
 	}
 	if *verbose {
 		logger := log.New(os.Stderr, "cosoftd: ", log.LstdFlags|log.Lmicroseconds)
@@ -43,6 +59,21 @@ func main() {
 	}
 	srv := server.New(opts)
 	fmt.Printf("cosoftd: coupling server listening on %s\n", lis.Addr())
+
+	if *metricsAddr != "" {
+		mlis, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosoftd: metrics listen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cosoftd: metrics on http://%s/metrics\n", mlis.Addr())
+		go func() {
+			if err := http.Serve(mlis, metricsMux(metrics)); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "cosoftd: metrics serve: %v\n", err)
+			}
+		}()
+		defer mlis.Close()
+	}
 
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
@@ -59,7 +90,38 @@ func main() {
 	}
 	lis.Close()
 	srv.Close()
-	stats := srv.Stats()
+	// The state loop is gone after Close (Stats() reports zeros), but the
+	// registry's atomics remain readable.
+	snap := metrics.Snapshot()
 	fmt.Printf("cosoftd: served %d events (%d lock denials), %d copies\n",
-		stats.Events, stats.LockFailures, stats.Copies)
+		snap.Counters["server.events"], snap.Counters["server.lock_failures"],
+		snap.Counters["server.copies"])
+	if rtt := snap.Histograms["server.event_rtt_ns"]; rtt.Count > 0 {
+		fmt.Printf("cosoftd: event round trip p50=%.0fns p95=%.0fns p99=%.0fns max=%dns (outbox high water %d)\n",
+			rtt.P50, rtt.P95, rtt.P99, rtt.Max,
+			snap.Gauges["server.outbox_depth"].HighWater)
+	}
+}
+
+// metricsMux builds the observability mux: the JSON snapshot, expvar, and
+// the pprof profiles (registered explicitly; we serve a private mux, not
+// http.DefaultServeMux).
+func metricsMux(metrics *obs.Registry) *http.ServeMux {
+	expvar.Publish("cosoft", expvar.Func(func() any { return metrics.Snapshot() }))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(metrics.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

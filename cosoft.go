@@ -54,6 +54,7 @@ import (
 	"cosoft/internal/client"
 	"cosoft/internal/compat"
 	"cosoft/internal/couple"
+	"cosoft/internal/obs"
 	"cosoft/internal/server"
 	"cosoft/internal/session"
 	"cosoft/internal/widget"
@@ -91,6 +92,30 @@ type (
 	// Link is one directed couple link.
 	Link = couple.Link
 )
+
+// Observability types. Both Server and Client accept a MetricsSink in
+// their options; NewMetrics() records, DisabledMetrics is a zero-cost no-op.
+type (
+	// MetricsSink hands out named metric handles (counters, gauges,
+	// latency histograms).
+	MetricsSink = obs.Sink
+	// MetricsRegistry is the recording MetricsSink with a JSON-marshalable
+	// Snapshot.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of every metric.
+	MetricsSnapshot = obs.Snapshot
+	// MetricsSummary digests a latency histogram (count, mean, p50/p95/p99,
+	// max).
+	MetricsSummary = obs.Summary
+)
+
+// NewMetrics returns a recording metrics registry to pass as
+// ServerOptions.Metrics or ClientOptions.Metrics.
+func NewMetrics() *MetricsRegistry { return obs.NewRegistry() }
+
+// DisabledMetrics is the no-op sink: measurement code vanishes to
+// zero-allocation nil-handle calls.
+var DisabledMetrics = obs.Disabled
 
 // Toolkit types.
 type (

@@ -19,6 +19,7 @@ import (
 
 	"cosoft/internal/compat"
 	"cosoft/internal/couple"
+	"cosoft/internal/obs"
 	"cosoft/internal/widget"
 	"cosoft/internal/wire"
 )
@@ -70,6 +71,9 @@ type Options struct {
 	// modifications differently — the congruence-of-views relaxation
 	// (GROVE's "different colors for certain purposes", §1).
 	MarkOrigin bool
+	// Metrics receives the client's RPC and re-execution latency
+	// histograms. Nil disables measurement (zero-allocation no-ops).
+	Metrics obs.Sink
 	// Logf receives diagnostic output; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -92,7 +96,12 @@ type Client struct {
 
 	inbox chan wire.Envelope
 	done  chan struct{}
+	rdone chan struct{} // closed when readLoop exits
 	wg    sync.WaitGroup
+
+	// Metric handles (nil-safe no-ops when Options.Metrics is nil).
+	mRPC  *obs.Histogram // client.rpc_ns: request/response round trips
+	mExec *obs.Histogram // client.exec_ns: remote-event re-execution to ack
 }
 
 // New performs the registration handshake over conn and starts the client
@@ -104,6 +113,7 @@ func New(conn net.Conn, opts Options) (*Client, error) {
 	if opts.RPCTimeout == 0 {
 		opts.RPCTimeout = 30 * time.Second
 	}
+	metrics := obs.Or(opts.Metrics)
 	c := &Client{
 		opts:    opts,
 		conn:    wire.NewConn(conn),
@@ -115,6 +125,9 @@ func New(conn net.Conn, opts Options) (*Client, error) {
 		sem:     make(map[string]Semantics),
 		inbox:   make(chan wire.Envelope, 256),
 		done:    make(chan struct{}),
+		rdone:   make(chan struct{}),
+		mRPC:    metrics.Histogram("client.rpc_ns"),
+		mExec:   metrics.Histogram("client.exec_ns"),
 	}
 	// Handshake: Register must be answered by Registered before the loops
 	// start.
@@ -180,9 +193,28 @@ func (c *Client) Close() {
 		return
 	}
 	c.closed = true
+	// The Deregister carries a real sequence number with a registered
+	// waiter, so the server's OK reply is routed here instead of surfacing
+	// in dispatchLoop as an "unexpected server message". (A Seq of 0 would
+	// make the reply's RefSeq 0, the marker for server-initiated traffic.)
+	c.nextSeq++
+	seq := c.nextSeq
+	ack := make(chan wire.Envelope, 1)
+	c.waiters[seq] = ack
 	c.mu.Unlock()
-	// Best effort orderly exit; the server also handles abrupt closes.
-	_ = c.conn.Write(wire.Envelope{Msg: wire.Deregister{}})
+	// Best effort orderly exit; the server also handles abrupt closes. The
+	// wait is bounded: a dead or unresponsive server ends it via readLoop
+	// exit or the RPC timeout.
+	if err := c.conn.Write(wire.Envelope{Seq: seq, Msg: wire.Deregister{}}); err == nil {
+		timer := time.NewTimer(c.opts.RPCTimeout)
+		select {
+		case <-ack:
+		case <-c.rdone:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+	c.dropWaiter(seq)
 	close(c.done)
 	c.conn.Close()
 	c.reg.OnEvent(nil)
@@ -210,6 +242,7 @@ func (c *Client) call(msg wire.Message) (wire.Envelope, error) {
 	c.waiters[seq] = ch
 	c.mu.Unlock()
 
+	t0 := c.mRPC.Start()
 	if err := c.conn.Write(wire.Envelope{Seq: seq, Msg: msg}); err != nil {
 		c.dropWaiter(seq)
 		return wire.Envelope{}, fmt.Errorf("client: send %s: %w", msg.MsgType(), err)
@@ -221,6 +254,7 @@ func (c *Client) call(msg wire.Message) (wire.Envelope, error) {
 		if !ok {
 			return wire.Envelope{}, ErrClosed
 		}
+		c.mRPC.ObserveSince(t0)
 		return env, nil
 	case <-timer.C:
 		c.dropWaiter(seq)
@@ -258,6 +292,7 @@ func (c *Client) dropWaiter(seq uint64) {
 func (c *Client) readLoop() {
 	defer c.wg.Done()
 	defer close(c.inbox)
+	defer close(c.rdone)
 	for {
 		env, err := c.conn.Read()
 		if err != nil {

@@ -2,6 +2,7 @@ package client
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -292,5 +293,56 @@ func TestRPCTimeout(t *testing.T) {
 	defer c.Close()
 	if err := c.Declare("/x"); !errors.Is(err, ErrTimeout) {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// TestCloseQuietShutdown deregisters through Close and asserts the server's
+// reply never surfaces as an "unexpected server message": the Deregister
+// used to go out with Seq 0, so the OK's RefSeq 0 made it look like
+// server-initiated traffic to the dispatch loop.
+func TestCloseQuietShutdown(t *testing.T) {
+	srv := server.New(server.Options{})
+	var wg sync.WaitGroup
+	defer func() {
+		srv.Close()
+		wg.Wait()
+	}()
+	link := netsim.NewLink(0)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.HandleConn(wire.NewConn(link.B))
+	}()
+	var mu sync.Mutex
+	var logs []string
+	reg := widget.NewRegistry()
+	widget.MustBuild(reg, "/", `textfield x`)
+	c, err := New(link.A, Options{
+		AppType: "unit", User: "u", Host: "h", Registry: reg,
+		RPCTimeout: 5 * time.Second,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Declare("/x"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// Close waits for the Deregister acknowledgement, so the instance is
+	// already gone from the registration records.
+	if n := srv.Stats().Instances; n != 0 {
+		t.Errorf("instances after close = %d, want 0", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, line := range logs {
+		if strings.Contains(line, "unexpected server message") {
+			t.Errorf("shutdown logged: %s", line)
+		}
 	}
 }

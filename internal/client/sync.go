@@ -92,6 +92,7 @@ func (c *Client) DispatchChecked(e *widget.Event) error {
 // Then the server broadcasts this message to the application instances where
 // it is unpacked and re-executed" (§3.2).
 func (c *Client) handleExec(m wire.Exec) {
+	t0 := c.mExec.Start()
 	e := &widget.Event{
 		Path:   m.TargetPath,
 		Name:   m.Name,
@@ -114,6 +115,7 @@ func (c *Client) handleExec(m wire.Exec) {
 	if err := c.conn.Write(wire.Envelope{Msg: wire.ExecAck{EventID: m.EventID}}); err != nil {
 		c.logf("client %s: exec ack: %v", c.id, err)
 	}
+	c.mExec.ObserveSince(t0)
 }
 
 // markOrigin stamps the provenance attribute when congruence marking is on.

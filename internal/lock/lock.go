@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"cosoft/internal/couple"
+	"cosoft/internal/obs"
 )
 
 // Owner identifies the holder of a lock: the instance processing an event
@@ -24,11 +25,28 @@ type Owner struct {
 type Table struct {
 	mu   sync.Mutex
 	held map[couple.ObjectRef]Owner
+
+	// Metric handles (nil-safe; see Instrument).
+	mAttempts *obs.Counter
+	mFailures *obs.Counter
+	mUndone   *obs.Counter
 }
 
 // NewTable returns an empty lock table.
 func NewTable() *Table {
 	return &Table{held: make(map[couple.ObjectRef]Owner)}
+}
+
+// Instrument attaches metric handles for group-locking behaviour: attempts
+// counts TryLockGroup calls, failures counts group acquisitions lost to
+// contention, and undone counts locks rolled back by the paper's
+// undo-locking ("on the first failure all locks acquired so far are
+// undone"). Nil handles (the obs.Disabled sink) keep the table metric-free.
+// Call before the table is shared between goroutines.
+func (t *Table) Instrument(attempts, failures, undone *obs.Counter) {
+	t.mAttempts = attempts
+	t.mFailures = failures
+	t.mUndone = undone
 }
 
 // TryLock attempts to lock one object for owner. It succeeds when the object
@@ -66,12 +84,15 @@ func (t *Table) Unlock(ref couple.ObjectRef, owner Owner) bool {
 func (t *Table) TryLockGroup(refs []couple.ObjectRef, owner Owner) (ok bool, attempted int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.mAttempts.Inc()
 	var acquired []couple.ObjectRef
 	for _, ref := range refs {
 		if cur, held := t.held[ref]; held && cur != owner {
 			for _, a := range acquired {
 				delete(t.held, a)
 			}
+			t.mFailures.Inc()
+			t.mUndone.Add(uint64(len(acquired)))
 			return false, len(acquired)
 		}
 		if _, held := t.held[ref]; !held {

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"cosoft/internal/couple"
+	"cosoft/internal/obs"
 )
 
 func ref(inst, path string) couple.ObjectRef {
@@ -222,5 +223,49 @@ func BenchmarkTryLockGroup(b *testing.B) {
 			b.Fatal("lock failed")
 		}
 		tbl.UnlockGroup(refs, o)
+	}
+}
+
+func TestInstrumentCountsContentionAndUndo(t *testing.T) {
+	reg := obs.NewRegistry()
+	attempts := reg.Counter("lock.group_attempts")
+	failures := reg.Counter("lock.group_failures")
+	undone := reg.Counter("lock.undo_locked")
+	tbl := NewTable()
+	tbl.Instrument(attempts, failures, undone)
+
+	refs := []couple.ObjectRef{ref("i1", "/a"), ref("i1", "/b"), ref("i1", "/c")}
+	o1 := Owner{Instance: "i1", Seq: 1}
+	o2 := Owner{Instance: "i2", Seq: 1}
+	if ok, _ := tbl.TryLockGroup(refs, o1); !ok {
+		t.Fatal("first group lock must succeed")
+	}
+	// o2 probes /x, /y (free, acquired), then /a (held): two undo-locks.
+	if ok, _ := tbl.TryLockGroup([]couple.ObjectRef{ref("i2", "/x"), ref("i2", "/y"), refs[0]}, o2); ok {
+		t.Fatal("contended group lock must fail")
+	}
+	// The ordered variant shares the counters.
+	if ok, _ := tbl.TryLockGroupOrdered(refs, o2); ok {
+		t.Fatal("ordered contended lock must fail")
+	}
+	if got := attempts.Value(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	if got := failures.Value(); got != 2 {
+		t.Errorf("failures = %d, want 2", got)
+	}
+	if got := undone.Value(); got != 2 {
+		t.Errorf("undone = %d, want 2", got)
+	}
+}
+
+func TestUninstrumentedTableWorks(t *testing.T) {
+	tbl := NewTable() // no Instrument call: nil handles must be no-ops
+	o := Owner{Instance: "i1", Seq: 1}
+	if ok, _ := tbl.TryLockGroup([]couple.ObjectRef{ref("i1", "/a")}, o); !ok {
+		t.Fatal("lock must succeed")
+	}
+	if ok, _ := tbl.TryLockGroup([]couple.ObjectRef{ref("i1", "/a")}, Owner{Instance: "i2"}); ok {
+		t.Fatal("contended lock must fail")
 	}
 }

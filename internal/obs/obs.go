@@ -1,0 +1,365 @@
+// Package obs is the observability substrate of the coupling server: atomic
+// counters, gauges with high-water marks, and fixed-bucket latency
+// histograms behind a Sink interface whose disabled form is a
+// zero-allocation no-op.
+//
+// The design optimizes the instrumented hot path, not the collection path:
+// instrumented code asks a Sink for named handles once, at construction
+// time, and stores them in struct fields. Every handle method is safe on a
+// nil receiver and does nothing there, so the Disabled sink — which hands
+// out nil handles — removes all measurement cost without a branch at the
+// call sites beyond the nil check inlined into each method. No goroutines,
+// no channels, no dependencies beyond the standard library's sync/atomic.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sink hands out metric handles by name. Asking twice for the same name
+// returns the same handle. Implementations: *Registry (recording) and
+// Disabled (nil handles, all no-ops).
+type Sink interface {
+	Counter(name string) *Counter
+	Gauge(name string) *Gauge
+	Histogram(name string) *Histogram
+}
+
+// Disabled is the no-op Sink: every handle it returns is nil, and methods
+// on nil handles do nothing and allocate nothing.
+var Disabled Sink = disabled{}
+
+type disabled struct{}
+
+func (disabled) Counter(string) *Counter     { return nil }
+func (disabled) Gauge(string) *Gauge         { return nil }
+func (disabled) Histogram(string) *Histogram { return nil }
+
+// Or returns s, or Disabled when s is nil — the idiom for optional
+// Options.Metrics fields.
+func Or(s Sink) Sink {
+	if s == nil {
+		return Disabled
+	}
+	return s
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that also remembers its high-water mark.
+type Gauge struct {
+	v   atomic.Int64
+	hwm atomic.Int64
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.raiseHWM(g.v.Add(delta))
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.raiseHWM(v)
+}
+
+func (g *Gauge) raiseHWM(v int64) {
+	for {
+		cur := g.hwm.Load()
+		if v <= cur || g.hwm.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HighWater returns the largest value the gauge has held.
+func (g *Gauge) HighWater() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.hwm.Load()
+}
+
+// histBuckets is one bucket per power of two of the observed value:
+// bucket 0 holds zeros, bucket k holds [2^(k-1), 2^k). 64 buckets cover
+// every non-negative int64, so Observe never range-checks.
+const histBuckets = 64
+
+// Histogram accumulates non-negative int64 observations (latencies in
+// nanoseconds, fan-out sizes, queue depths) into power-of-two buckets.
+// Quantiles are estimated by linear interpolation within the bucket, which
+// bounds the relative error by the bucket width (< 2x worst case, far less
+// in practice since observations cluster).
+type Histogram struct {
+	count atomic.Uint64
+	sum   atomic.Int64
+	max   atomic.Int64
+	b     [histBuckets]atomic.Uint64
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.b[bits.Len64(uint64(v))&(histBuckets-1)].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Start returns the current time for a later ObserveSince, or the zero time
+// when the histogram is disabled — so the disabled path never reads the
+// clock.
+func (h *Histogram) Start() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records the elapsed time since t0. A zero t0 (from a
+// disabled Start) is ignored.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil || t0.IsZero() {
+		return
+	}
+	h.Observe(int64(time.Since(t0)))
+}
+
+// Summary is a point-in-time digest of a histogram. All fields are scalars
+// so structs embedding a Summary stay comparable.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Summary digests the histogram. Concurrent Observes make the digest
+// slightly fuzzy (counts and buckets are read independently); that is fine
+// for monitoring.
+func (h *Histogram) Summary() Summary {
+	if h == nil {
+		return Summary{}
+	}
+	var buckets [histBuckets]uint64
+	var total uint64
+	for i := range h.b {
+		buckets[i] = h.b[i].Load()
+		total += buckets[i]
+	}
+	s := Summary{Count: h.count.Load(), Max: h.max.Load()}
+	if total == 0 {
+		return s
+	}
+	s.Mean = float64(h.sum.Load()) / float64(total)
+	// Interpolation can overshoot the largest observation within its
+	// power-of-two bucket, so cap every quantile at the tracked max.
+	s.P50 = min(quantile(&buckets, total, 0.50), float64(s.Max))
+	s.P95 = min(quantile(&buckets, total, 0.95), float64(s.Max))
+	s.P99 = min(quantile(&buckets, total, 0.99), float64(s.Max))
+	return s
+}
+
+// quantile locates the bucket holding the q-th ranked observation and
+// interpolates linearly across the bucket's value range.
+func quantile(buckets *[histBuckets]uint64, total uint64, q float64) float64 {
+	rank := q * float64(total)
+	var seen float64
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) >= rank {
+			lo, hi := bucketBounds(i)
+			frac := (rank - seen) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		seen += float64(n)
+	}
+	_, hi := bucketBounds(histBuckets - 1)
+	return hi
+}
+
+// bucketBounds returns the half-open value range [lo, hi) of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return float64(int64(1) << (i - 1)), float64(int64(1) << i)
+}
+
+// Registry is the recording Sink: a named collection of metrics with a
+// consistent-enough JSON snapshot. Handle lookup takes a lock and is meant
+// for construction time, not hot paths.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeValue is a gauge's snapshot: current reading and high-water mark.
+type GaugeValue struct {
+	Value     int64 `json:"value"`
+	HighWater int64 `json:"high_water"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. It
+// marshals directly to the JSON served by cosoftd's -metrics-addr endpoint.
+type Snapshot struct {
+	Counters   map[string]uint64     `json:"counters"`
+	Gauges     map[string]GaugeValue `json:"gauges"`
+	Histograms map[string]Summary    `json:"histograms"`
+}
+
+// Snapshot digests every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]GaugeValue, len(gauges)),
+		Histograms: make(map[string]Summary, len(hists)),
+	}
+	for name, c := range counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		snap.Gauges[name] = GaugeValue{Value: g.Value(), HighWater: g.HighWater()}
+	}
+	for name, h := range hists {
+		snap.Histograms[name] = h.Summary()
+	}
+	return snap
+}
+
+// Names returns every registered metric name in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

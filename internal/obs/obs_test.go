@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter value")
+	}
+	var g *Gauge
+	g.Add(3)
+	g.Set(7)
+	if g.Value() != 0 || g.HighWater() != 0 {
+		t.Error("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if !h.Start().IsZero() {
+		t.Error("nil histogram Start must return zero time")
+	}
+	h.ObserveSince(time.Now()) // ignored on nil receiver
+	if s := h.Summary(); s != (Summary{}) {
+		t.Errorf("nil histogram summary = %+v", s)
+	}
+}
+
+func TestDisabledSinkHandsOutNils(t *testing.T) {
+	if Disabled.Counter("x") != nil || Disabled.Gauge("x") != nil || Disabled.Histogram("x") != nil {
+		t.Fatal("Disabled must return nil handles")
+	}
+	if Or(nil) != Disabled {
+		t.Error("Or(nil) must be Disabled")
+	}
+	r := NewRegistry()
+	if Or(r) != Sink(r) {
+		t.Error("Or must pass a real sink through")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if r.Counter("events") != c {
+		t.Error("same name must return same handle")
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	g := NewRegistry().Gauge("depth")
+	g.Add(5)
+	g.Add(3)
+	g.Add(-6)
+	if g.Value() != 2 {
+		t.Errorf("value = %d", g.Value())
+	}
+	if g.HighWater() != 8 {
+		t.Errorf("high water = %d", g.HighWater())
+	}
+	g.Set(1)
+	if g.HighWater() != 8 {
+		t.Error("Set must not lower the high-water mark")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewRegistry().Histogram("lat")
+	// 100 observations of 1000, five outliers of 1_000_000.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(1_000_000)
+	}
+	s := h.Summary()
+	if s.Count != 105 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 1_000_000 {
+		t.Errorf("max = %d", s.Max)
+	}
+	// 1000 lands in bucket [512, 1024); the p50 estimate must stay inside it.
+	if s.P50 < 512 || s.P50 >= 1024 {
+		t.Errorf("p50 = %g, want within [512, 1024)", s.P50)
+	}
+	if s.P95 < 512 || s.P95 >= 1024 {
+		t.Errorf("p95 = %g", s.P95)
+	}
+	// p99 ranks past the 100 small observations into the outliers' bucket.
+	if s.P99 < 1024 {
+		t.Errorf("p99 = %g, want beyond the small bucket", s.P99)
+	}
+	wantMean := (100*1000.0 + 5*1_000_000.0) / 105
+	if s.Mean != wantMean {
+		t.Errorf("mean = %g, want %g", s.Mean, wantMean)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	h := NewRegistry().Histogram("z")
+	h.Observe(0)
+	h.Observe(-5) // clamped to zero
+	s := h.Summary()
+	if s.Count != 2 || s.Max != 0 || s.P50 != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	h := NewRegistry().Histogram("rtt")
+	t0 := h.Start()
+	if t0.IsZero() {
+		t.Fatal("enabled Start must read the clock")
+	}
+	h.ObserveSince(t0)
+	h.ObserveSince(time.Time{}) // zero start is ignored
+	if s := h.Summary(); s.Count != 1 {
+		t.Errorf("count = %d", s.Count)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.events").Add(3)
+	r.Gauge("server.outbox_depth").Add(4)
+	r.Histogram("server.event_rtt_ns").Observe(2048)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["server.events"] != 3 {
+		t.Errorf("counters = %v", back.Counters)
+	}
+	if back.Gauges["server.outbox_depth"].HighWater != 4 {
+		t.Errorf("gauges = %v", back.Gauges)
+	}
+	if back.Histograms["server.event_rtt_ns"].Count != 1 {
+		t.Errorf("histograms = %v", back.Histograms)
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Gauge("a")
+	r.Histogram("c")
+	names := r.Names()
+	want := []string{"a", "b", "c"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Gauge("g").Add(-1)
+				r.Histogram("h").Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d", got)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Errorf("gauge = %d", got)
+	}
+	if got := r.Histogram("h").Summary().Count; got != 8000 {
+		t.Errorf("hist count = %d", got)
+	}
+}
+
+func BenchmarkDisabledObserve(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t0 := h.Start()
+		h.ObserveSince(t0)
+	}
+}
+
+func BenchmarkEnabledObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"time"
+
 	"cosoft/internal/couple"
 	"cosoft/internal/lock"
 	"cosoft/internal/wire"
@@ -17,6 +19,9 @@ type pendingEvent struct {
 	// waiting counts outstanding Exec acknowledgements per instance (an
 	// instance may hold several coupled members).
 	waiting map[couple.InstanceID]int
+	// start is the Event's arrival time for the round-trip histogram; zero
+	// when latency measurement is disabled.
+	start time.Time
 }
 
 // handleEvent implements the multiple-execution algorithm of §3.2. The
@@ -24,7 +29,8 @@ type pendingEvent struct {
 // locally; the server locks CO(o), broadcasts Exec to every coupled member,
 // and tells the origin whether to keep or undo its feedback.
 func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event) {
-	s.statEvents++
+	s.mEvents.Inc()
+	start := s.mEventRTT.Start()
 	source := couple.ObjectRef{Instance: cl.id, Path: m.Path}
 	members := s.graph.CO(source)
 	if len(members) == 0 {
@@ -40,7 +46,7 @@ func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event) {
 	ok, _ := s.lockGroup(members, owner)
 	if !ok {
 		// Lock failed: the origin must undo the event's syntactic feedback.
-		s.statLockFails++
+		s.mLockFails.Inc()
 		cl.out.send(wire.Envelope{RefSeq: seq, Msg: wire.EventResult{OK: false, Reason: "group locked"}})
 		return
 	}
@@ -51,10 +57,12 @@ func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event) {
 		members: members,
 		owner:   owner,
 		waiting: make(map[couple.InstanceID]int),
+		start:   start,
 	}
 	// Disable the locked objects at their instances, then broadcast the
 	// event for re-execution.
 	s.notifyLockChange(members, true, source)
+	fanout := 0
 	for _, member := range members {
 		target, connected := s.clients[member.Instance]
 		if !connected {
@@ -67,9 +75,11 @@ func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event) {
 			Args:       m.Args,
 			Origin:     source,
 		}})
-		s.statExecsSent++
+		fanout++
 		pe.waiting[member.Instance]++
 	}
+	s.mExecsSent.Add(uint64(fanout))
+	s.mFanout.Observe(int64(fanout))
 	cl.out.send(wire.Envelope{RefSeq: seq, Msg: wire.EventResult{OK: true}})
 	if len(pe.waiting) == 0 {
 		// All members belonged to disconnected instances.
@@ -105,4 +115,5 @@ func (s *Server) finishEvent(id uint64, pe *pendingEvent) {
 func (s *Server) unlockEvent(pe *pendingEvent) {
 	s.locks.UnlockGroup(pe.members, pe.owner)
 	s.notifyLockChange(pe.members, false, pe.source)
+	s.mEventRTT.ObserveSince(pe.start)
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 
 	"cosoft/internal/couple"
 	"cosoft/internal/lock"
@@ -95,9 +96,13 @@ func (s *Server) checkDeclared(ref couple.ObjectRef) (string, error) {
 
 func (s *Server) handleRetract(cl *client, seq uint64, m wire.Retract) {
 	ref := couple.ObjectRef{Instance: cl.id, Path: m.Path}
+	// Collect the group *before* removal, as handleDecouple does: computing
+	// it afterwards loses the members connected only through the retracted
+	// object, so the split halves would keep stale mirrored links.
+	members := s.graph.Group(ref)
 	removed := s.graph.RemoveObject(ref)
 	for _, l := range removed {
-		s.broadcastLink(l, false)
+		s.notifyLink(members, l, false)
 	}
 	s.reg.RetractObject(cl.id, m.Path)
 	s.history.Forget(ref)
@@ -184,16 +189,6 @@ func (s *Server) handleDecouple(cl *client, seq uint64, m wire.Decouple) {
 	s.reply(cl, seq, nil)
 }
 
-// broadcastLink notifies every instance owning an object in the link's
-// group, so coupling information stays replicated at the members (§3.2).
-// Both endpoints' groups are notified: after a removal the two halves are
-// separate components, and each must hear about the change.
-func (s *Server) broadcastLink(l couple.Link, added bool) {
-	members := s.graph.Group(l.From)
-	members = append(members, s.graph.Group(l.To)...)
-	s.notifyLink(members, l, added)
-}
-
 func (s *Server) notifyLink(members []couple.ObjectRef, l couple.Link, added bool) {
 	seen := make(map[couple.InstanceID]bool)
 	for _, m := range members {
@@ -220,14 +215,18 @@ func (s *Server) handleCommand(cl *client, seq uint64, m wire.Command) {
 			}
 		}
 	}
-	deliver := wire.CommandDeliver{Name: m.Name, From: cl.id, Payload: m.Payload}
+	// Validate every target before delivering to any: a failure after
+	// partial delivery would tell the sender "error" while some targets
+	// already received the command.
 	for _, id := range targets {
-		c, ok := s.clients[id]
-		if !ok {
+		if _, ok := s.clients[id]; !ok {
 			s.reply(cl, seq, fmt.Errorf("server: unknown target instance %q", id))
 			return
 		}
-		c.out.send(wire.Envelope{Msg: deliver})
+	}
+	deliver := wire.CommandDeliver{Name: m.Name, From: cl.id, Payload: m.Payload}
+	for _, id := range targets {
+		s.clients[id].out.send(wire.Envelope{Msg: deliver})
 	}
 	s.reply(cl, seq, nil)
 }
@@ -243,18 +242,12 @@ func (s *Server) handleListInstances(cl *client, seq uint64) {
 		for path, class := range rec.Objects {
 			info.Objects = append(info.Objects, wire.DeclaredObject{Path: path, Class: class})
 		}
-		sortDeclared(info.Objects)
+		sort.Slice(info.Objects, func(i, j int) bool {
+			return info.Objects[i].Path < info.Objects[j].Path
+		})
 		list.Instances = append(list.Instances, info)
 	}
 	cl.out.send(wire.Envelope{RefSeq: seq, Msg: list})
-}
-
-func sortDeclared(objs []wire.DeclaredObject) {
-	for i := 1; i < len(objs); i++ {
-		for j := i; j > 0 && objs[j].Path < objs[j-1].Path; j-- {
-			objs[j], objs[j-1] = objs[j-1], objs[j]
-		}
-	}
 }
 
 // dropClient removes a disconnected or deregistering instance: its couple
@@ -266,6 +259,7 @@ func (s *Server) dropClient(cl *client, reason string) {
 	}
 	s.logf("server: %s leaving (%s)", cl.id, reason)
 	delete(s.clients, cl.id)
+	s.mClients.Add(-1)
 
 	// Decouple everything the instance participated in, notifying survivors.
 	for _, l := range s.graph.RemoveInstance(cl.id) {

@@ -21,6 +21,7 @@ import (
 	"cosoft/internal/couple"
 	"cosoft/internal/hist"
 	"cosoft/internal/lock"
+	"cosoft/internal/obs"
 	"cosoft/internal/perm"
 	"cosoft/internal/registry"
 	"cosoft/internal/widget"
@@ -41,6 +42,10 @@ type Options struct {
 	// OrderedLocking selects the deterministic-order group-locking variant
 	// instead of the paper's sequential algorithm (ablation switch).
 	OrderedLocking bool
+	// Metrics receives the server's counters, gauges and latency
+	// histograms. Nil means a private enabled registry (so Stats keeps
+	// working); pass obs.Disabled to remove all measurement cost.
+	Metrics obs.Sink
 	// Logf receives diagnostic output; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -66,16 +71,24 @@ type Server struct {
 	nextEventID   uint64
 	nextFetchID   uint64
 
-	// Metrics (loop-owned; snapshot via Stats).
-	statEvents    uint64
-	statLockFails uint64
-	statExecsSent uint64
-	statCopies    uint64
+	// Metric handles resolved from Options.Metrics at construction (nil
+	// handles under obs.Disabled; every method is a nil-safe no-op).
+	mEvents       *obs.Counter   // server.events: Event messages processed
+	mLockFails    *obs.Counter   // server.lock_failures: events denied the group lock
+	mExecsSent    *obs.Counter   // server.execs_sent: Exec broadcasts
+	mCopies       *obs.Counter   // server.copies: completed state transfers
+	mEventRTT     *obs.Histogram // server.event_rtt_ns: Event arrival → last ExecAck → unlock
+	mFanout       *obs.Histogram // server.event_fanout: Execs sent per broadcast event
+	mOutboxDepth  *obs.Gauge     // server.outbox_depth: queued envelopes across all outboxes
+	mClients      *obs.Gauge     // server.clients: connected instances
+	mLockAttempts *obs.Counter   // lock.group_attempts (shared with the lock table)
+	mLockUndone   *obs.Counter   // lock.undo_locked (shared with the lock table)
 
 	closeOnce sync.Once
 }
 
-// Stats is a snapshot of server counters.
+// Stats is a snapshot of server counters. It stays a comparable struct
+// (scalar fields only) so callers can diff snapshots with ==.
 type Stats struct {
 	// Events is the number of Event messages processed.
 	Events uint64
@@ -89,6 +102,21 @@ type Stats struct {
 	Instances int
 	// Links is the number of couple links.
 	Links int
+	// EventRTT summarizes the event round trip in nanoseconds: Event
+	// arrival through the last ExecAck to group unlock. Events without a
+	// broadcast (uncoupled objects, denied locks) are not counted.
+	EventRTT obs.Summary
+	// Fanout summarizes how many Exec messages each broadcast event
+	// produced.
+	Fanout obs.Summary
+	// OutboxDepth is the number of envelopes currently queued across all
+	// client outboxes; OutboxHighWater is the largest backlog seen.
+	OutboxDepth     int64
+	OutboxHighWater int64
+	// LockAttempts counts group-lock acquisitions tried; LockUndone counts
+	// locks rolled back by the undo-locking algorithm on contention.
+	LockAttempts uint64
+	LockUndone   uint64
 }
 
 // client is the server-side view of one connected instance.
@@ -107,6 +135,12 @@ func New(opts Options) *Server {
 	if opts.Correspondences == nil {
 		opts.Correspondences = compat.NewCorrespondences()
 	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		// Default to an enabled private registry: Stats() reads through the
+		// same handles, and atomic counters cost next to nothing.
+		metrics = obs.NewRegistry()
+	}
 	s := &Server{
 		opts:          opts,
 		checker:       compat.NewChecker(opts.Classes, opts.Correspondences),
@@ -120,7 +154,19 @@ func New(opts Options) *Server {
 		clients:       make(map[couple.InstanceID]*client),
 		pendingEvents: make(map[uint64]*pendingEvent),
 		pendingFetch:  make(map[uint64]*fetch),
+
+		mEvents:       metrics.Counter("server.events"),
+		mLockFails:    metrics.Counter("server.lock_failures"),
+		mExecsSent:    metrics.Counter("server.execs_sent"),
+		mCopies:       metrics.Counter("server.copies"),
+		mEventRTT:     metrics.Histogram("server.event_rtt_ns"),
+		mFanout:       metrics.Histogram("server.event_fanout"),
+		mOutboxDepth:  metrics.Gauge("server.outbox_depth"),
+		mClients:      metrics.Gauge("server.clients"),
+		mLockAttempts: metrics.Counter("lock.group_attempts"),
+		mLockUndone:   metrics.Counter("lock.undo_locked"),
 	}
+	s.locks.Instrument(s.mLockAttempts, metrics.Counter("lock.group_failures"), s.mLockUndone)
 	s.wg.Add(1)
 	go s.loop()
 	return s
@@ -219,12 +265,18 @@ func (s *Server) Stats() Stats {
 	result := make(chan Stats, 1)
 	if !s.post(func() {
 		result <- Stats{
-			Events:       s.statEvents,
-			LockFailures: s.statLockFails,
-			ExecsSent:    s.statExecsSent,
-			Copies:       s.statCopies,
-			Instances:    s.reg.Len(),
-			Links:        s.graph.Len(),
+			Events:          s.mEvents.Value(),
+			LockFailures:    s.mLockFails.Value(),
+			ExecsSent:       s.mExecsSent.Value(),
+			Copies:          s.mCopies.Value(),
+			Instances:       s.reg.Len(),
+			Links:           s.graph.Len(),
+			EventRTT:        s.mEventRTT.Summary(),
+			Fanout:          s.mFanout.Summary(),
+			OutboxDepth:     s.mOutboxDepth.Value(),
+			OutboxHighWater: s.mOutboxDepth.HighWater(),
+			LockAttempts:    s.mLockAttempts.Value(),
+			LockUndone:      s.mLockUndone.Value(),
 		}
 	}) {
 		return Stats{}
@@ -253,7 +305,7 @@ func (s *Server) handleConn(c *wire.Conn) {
 	cl := &client{
 		user: reg.User,
 		conn: c,
-		out:  newOutbox(c),
+		out:  newOutbox(c, s.mOutboxDepth),
 	}
 	registered := make(chan bool, 1)
 	if !s.post(func() {
@@ -264,6 +316,7 @@ func (s *Server) handleConn(c *wire.Conn) {
 			return
 		}
 		s.clients[cl.id] = cl
+		s.mClients.Add(1)
 		cl.out.send(wire.Envelope{RefSeq: env.Seq, Msg: wire.Registered{ID: cl.id}})
 		registered <- true
 	}) {
@@ -302,10 +355,11 @@ type outbox struct {
 	queue  []wire.Envelope
 	closed bool
 	done   chan struct{}
+	depth  *obs.Gauge // shared across outboxes: total server backlog
 }
 
-func newOutbox(c *wire.Conn) *outbox {
-	o := &outbox{done: make(chan struct{})}
+func newOutbox(c *wire.Conn, depth *obs.Gauge) *outbox {
+	o := &outbox{done: make(chan struct{}), depth: depth}
 	o.cond = sync.NewCond(&o.mu)
 	go func() {
 		defer close(o.done)
@@ -320,10 +374,12 @@ func newOutbox(c *wire.Conn) *outbox {
 			}
 			env := o.queue[0]
 			o.queue = o.queue[1:]
+			o.depth.Add(-1)
 			o.mu.Unlock()
 			if err := c.Write(env); err != nil {
 				// Connection broken; drop remaining output.
 				o.mu.Lock()
+				o.depth.Add(-int64(len(o.queue)))
 				o.queue = nil
 				o.closed = true
 				o.mu.Unlock()
@@ -338,6 +394,7 @@ func (o *outbox) send(env wire.Envelope) {
 	o.mu.Lock()
 	if !o.closed {
 		o.queue = append(o.queue, env)
+		o.depth.Add(1)
 		o.cond.Signal()
 	}
 	o.mu.Unlock()

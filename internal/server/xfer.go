@@ -147,7 +147,7 @@ func (s *Server) completeCopy(cl *client, seq uint64, from, to couple.ObjectRef,
 				Origin:      cl.id,
 				Destructive: destructive,
 			}})
-			s.statCopies++
+			s.mCopies.Inc()
 			s.reply(cl, seq, nil)
 		},
 		func(reason string) {
