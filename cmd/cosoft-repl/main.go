@@ -7,11 +7,17 @@
 // Usage:
 //
 //	cosoft-repl -server localhost:7817 -app pad -user alice [-spec 'textfield note value=""']
+//	            [-metrics-url http://localhost:9090]
+//
+// With -metrics-url pointing at cosoftd's -metrics-addr listener, the
+// `trace` command fetches and pretty-prints the server's recent causal
+// spans and flight-recorder entries.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -26,7 +32,19 @@ func main() {
 	user := flag.String("user", os.Getenv("USER"), "user name for the registration record")
 	host := flag.String("host", hostname(), "host name for the registration record")
 	spec := flag.String("spec", "", "optional widget spec to build and declare on startup")
+	metricsURL := flag.String("metrics-url", "", "cosoftd observability endpoint for the trace command, e.g. http://localhost:9090 (empty = disabled)")
+	logLevel := flag.String("log-level", "", "structured log level: debug, info, warn or error (empty = logging disabled)")
 	flag.Parse()
+
+	var logger *slog.Logger
+	if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			fmt.Fprintf(os.Stderr, "cosoft-repl: -log-level: %v\n", err)
+			os.Exit(2)
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	}
 
 	reg := cosoft.NewRegistry()
 	if *spec != "" {
@@ -37,7 +55,7 @@ func main() {
 	}
 	cli, err := cosoft.Dial(*server, cosoft.ClientOptions{
 		AppType: *app, User: *user, Host: *host, Registry: reg,
-		RPCTimeout: 10 * time.Second,
+		RPCTimeout: 10 * time.Second, Logger: logger,
 		OnStateApplied: func(path string, origin cosoft.InstanceID) {
 			fmt.Printf("<< state applied to %s by %s\n", path, origin)
 		},
@@ -57,7 +75,9 @@ func main() {
 		}
 	}
 	fmt.Printf("connected to %s as %s (type 'help')\n", *server, cli.ID())
-	if err := repl.New(cli, os.Stdout).Run(os.Stdin); err != nil {
+	r := repl.New(cli, os.Stdout)
+	r.SetMetricsBase(*metricsURL)
+	if err := r.Run(os.Stdin); err != nil {
 		fmt.Fprintf(os.Stderr, "cosoft-repl: %v\n", err)
 		os.Exit(1)
 	}

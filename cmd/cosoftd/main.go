@@ -7,12 +7,19 @@
 // observability surface:
 //
 //	/metrics          JSON snapshot of every counter, gauge and histogram
+//	                  (?name=<prefix> restricts to matching metric names)
+//	/debug/trace      recent causal spans and per-connection flight-recorder
+//	                  entries (?trace=<hex id> selects one trace,
+//	                  ?format=chrome emits Chrome trace-event JSON for
+//	                  chrome://tracing / Perfetto)
 //	/debug/vars       the same snapshot under expvar ("cosoft"), plus Go runtime vars
 //	/debug/pprof/     the standard pprof profiles
 //
 // Usage:
 //
-//	cosoftd [-listen :7817] [-metrics-addr :9090] [-history 32] [-ordered-locking] [-v]
+//	cosoftd [-listen :7817] [-metrics-addr :9090] [-history 32]
+//	        [-ordered-locking] [-trace-buffer 4096] [-flight-depth 64]
+//	        [-log-level info] [-v]
 package main
 
 import (
@@ -22,11 +29,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
 	"syscall"
 
 	"cosoft/internal/obs"
@@ -35,9 +46,12 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":7817", "TCP address to listen on")
-	metricsAddr := flag.String("metrics-addr", "", "HTTP address for the metrics/expvar/pprof endpoints (empty = disabled)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address for the metrics/trace/expvar/pprof endpoints (empty = disabled)")
 	history := flag.Int("history", 0, "per-object historical-state depth (0 = default)")
 	ordered := flag.Bool("ordered-locking", false, "use deterministic-order group locking instead of the paper's sequential algorithm")
+	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceBuffer, "causal-trace span ring size (0 = tracing disabled)")
+	flightDepth := flag.Int("flight-depth", obs.DefaultFlightDepth, "per-connection flight-recorder depth (0 = disabled)")
+	logLevel := flag.String("log-level", "", "structured log level: debug, info, warn or error (empty = logging disabled)")
 	verbose := flag.Bool("v", false, "log registrations and departures")
 	flag.Parse()
 
@@ -50,6 +64,24 @@ func main() {
 	if *verbose {
 		logger := log.New(os.Stderr, "cosoftd: ", log.LstdFlags|log.Lmicroseconds)
 		opts.Logf = logger.Printf
+	}
+	if *logLevel != "" {
+		lvl, err := parseLogLevel(*logLevel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosoftd: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	}
+	// The trace ring and flight recorder only cost anything while the HTTP
+	// surface that exposes them is up.
+	if *metricsAddr != "" {
+		if *traceBuffer > 0 {
+			opts.Tracer = obs.NewTracer(*traceBuffer)
+		}
+		if *flightDepth > 0 {
+			opts.Flight = obs.NewFlightRecorder(*flightDepth)
+		}
 	}
 
 	lis, err := net.Listen("tcp", *listen)
@@ -66,9 +98,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cosoftd: metrics listen: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("cosoftd: metrics on http://%s/metrics\n", mlis.Addr())
+		fmt.Printf("cosoftd: metrics on http://%s/metrics, traces on http://%s/debug/trace\n",
+			mlis.Addr(), mlis.Addr())
 		go func() {
-			if err := http.Serve(mlis, metricsMux(metrics)); err != nil && !errors.Is(err, net.ErrClosed) {
+			if err := http.Serve(mlis, metricsMux(metrics, opts.Tracer, opts.Flight)); err != nil && !errors.Is(err, net.ErrClosed) {
 				fmt.Fprintf(os.Stderr, "cosoftd: metrics serve: %v\n", err)
 			}
 		}()
@@ -103,17 +136,77 @@ func main() {
 	}
 }
 
-// metricsMux builds the observability mux: the JSON snapshot, expvar, and
-// the pprof profiles (registered explicitly; we serve a private mux, not
-// http.DefaultServeMux).
-func metricsMux(metrics *obs.Registry) *http.ServeMux {
-	expvar.Publish("cosoft", expvar.Func(func() any { return metrics.Snapshot() }))
+// parseLogLevel maps the -log-level flag to a slog.Level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// publishExpvarOnce guards the process-global expvar name: metricsMux is
+// called once per cosoftd process, but tests build several muxes and
+// expvar.Publish panics on duplicates.
+var publishExpvarOnce sync.Once
+
+// traceDump is the JSON shape of /debug/trace.
+type traceDump struct {
+	Spans  []obs.Span                   `json:"spans"`
+	Flight map[string][]obs.FlightEntry `json:"flight,omitempty"`
+}
+
+// metricsMux builds the observability mux: the JSON snapshot, the causal
+// trace dump, expvar, and the pprof profiles (registered explicitly; we
+// serve a private mux, not http.DefaultServeMux). tr and fr may be nil, in
+// which case /debug/trace reports empty collections.
+func metricsMux(metrics *obs.Registry, tr *obs.Tracer, fr *obs.FlightRecorder) *http.ServeMux {
+	publishExpvarOnce.Do(func() {
+		expvar.Publish("cosoft", expvar.Func(func() any { return metrics.Snapshot() }))
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		snap := metrics.Snapshot()
+		if prefix := r.URL.Query().Get("name"); prefix != "" {
+			snap = filterSnapshot(snap, prefix)
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(metrics.Snapshot()); err != nil {
+		if err := enc.Encode(snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		var spans []obs.Span
+		if id := r.URL.Query().Get("trace"); id != "" {
+			n, err := strconv.ParseUint(id, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id (want hex): "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			spans = tr.TraceSpans(obs.TraceID(n))
+		} else {
+			spans = tr.Spans()
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := obs.WriteChromeTrace(w, spans); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		dump := traceDump{Spans: spans, Flight: fr.Snapshot()}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(dump); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -124,4 +217,29 @@ func metricsMux(metrics *obs.Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// filterSnapshot keeps only metrics whose name starts with prefix.
+func filterSnapshot(snap obs.Snapshot, prefix string) obs.Snapshot {
+	out := obs.Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]obs.GaugeValue),
+		Histograms: make(map[string]obs.Summary),
+	}
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, prefix) {
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range snap.Gauges {
+		if strings.HasPrefix(name, prefix) {
+			out.Gauges[name] = v
+		}
+	}
+	for name, v := range snap.Histograms {
+		if strings.HasPrefix(name, prefix) {
+			out.Histograms[name] = v
+		}
+	}
+	return out
 }

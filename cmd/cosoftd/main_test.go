@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cosoft/internal/obs"
+)
+
+func newTestMux(t *testing.T) (*obs.Registry, *obs.Tracer, *obs.FlightRecorder, *httptest.Server) {
+	t.Helper()
+	metrics := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	fr := obs.NewFlightRecorder(8)
+	srv := httptest.NewServer(metricsMux(metrics, tr, fr))
+	t.Cleanup(srv.Close)
+	return metrics, tr, fr, srv
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: Content-Type = %q, want application/json", url, ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func TestMetricsEndpointServesJSONSnapshot(t *testing.T) {
+	metrics, _, _, srv := newTestMux(t)
+	metrics.Counter("server.events").Add(3)
+	metrics.Counter("client.execs").Add(1)
+
+	var snap obs.Snapshot
+	getJSON(t, srv.URL+"/metrics", &snap)
+	if snap.Counters["server.events"] != 3 {
+		t.Fatalf("server.events = %d, want 3", snap.Counters["server.events"])
+	}
+	if snap.Counters["client.execs"] != 1 {
+		t.Fatalf("client.execs = %d, want 1", snap.Counters["client.execs"])
+	}
+}
+
+func TestMetricsEndpointNameFilter(t *testing.T) {
+	metrics, _, _, srv := newTestMux(t)
+	metrics.Counter("server.events").Add(3)
+	metrics.Counter("client.execs").Add(1)
+	metrics.Gauge("server.outbox_depth").Set(2)
+	metrics.Histogram("client.exec_ns").Observe(10)
+
+	var snap obs.Snapshot
+	getJSON(t, srv.URL+"/metrics?name=server.", &snap)
+	if _, ok := snap.Counters["server.events"]; !ok {
+		t.Fatal("filter dropped server.events")
+	}
+	if _, ok := snap.Counters["client.execs"]; ok {
+		t.Fatal("filter kept client.execs")
+	}
+	if _, ok := snap.Gauges["server.outbox_depth"]; !ok {
+		t.Fatal("filter dropped server.outbox_depth gauge")
+	}
+	if _, ok := snap.Histograms["client.exec_ns"]; ok {
+		t.Fatal("filter kept client.exec_ns histogram")
+	}
+}
+
+func TestDebugTraceServesSpansAndFlight(t *testing.T) {
+	_, tr, fr, srv := newTestMux(t)
+	root := tr.StartRoot("client.event_send", "inst-a")
+	child := tr.StartSpan(root.Context(), "server.event_arrival", "server")
+	child.End()
+	root.End()
+	fr.Record("inst-a", obs.FlightEntry{Dir: "recv", Type: "Event", Seq: 7})
+
+	var dump traceDump
+	getJSON(t, srv.URL+"/debug/trace", &dump)
+	if len(dump.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(dump.Spans))
+	}
+	byName := make(map[string]obs.Span)
+	for _, s := range dump.Spans {
+		byName[s.Name] = s
+	}
+	rootSpan, childSpan := byName["client.event_send"], byName["server.event_arrival"]
+	if rootSpan.ID == 0 || childSpan.ID == 0 {
+		t.Fatalf("missing expected spans, got %+v", dump.Spans)
+	}
+	if childSpan.Parent != rootSpan.ID {
+		t.Fatal("child span does not link to root")
+	}
+	entries := dump.Flight["inst-a"]
+	if len(entries) != 1 || entries[0].Type != "Event" || entries[0].Seq != 7 {
+		t.Fatalf("flight entries = %+v", entries)
+	}
+}
+
+func TestDebugTraceFilterByTraceID(t *testing.T) {
+	_, tr, _, srv := newTestMux(t)
+	a := tr.StartRoot("client.event_send", "inst-a")
+	a.End()
+	b := tr.StartRoot("client.event_send", "inst-b")
+	b.End()
+
+	var dump traceDump
+	getJSON(t, srv.URL+"/debug/trace?trace="+a.Context().Trace.String(), &dump)
+	if len(dump.Spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(dump.Spans))
+	}
+	if dump.Spans[0].Trace != a.Context().Trace {
+		t.Fatalf("got trace %s, want %s", dump.Spans[0].Trace, a.Context().Trace)
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/trace?trace=not-hex")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad trace id: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDebugTraceChromeFormat(t *testing.T) {
+	_, tr, _, srv := newTestMux(t)
+	sp := tr.StartRoot("client.event_send", "inst-a")
+	sp.End()
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	getJSON(t, srv.URL+"/debug/trace?format=chrome", &doc)
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace is empty")
+	}
+	var sawSpan bool
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "client.event_send" && ev["ph"] == "X" {
+			sawSpan = true
+		}
+	}
+	if !sawSpan {
+		t.Fatalf("no complete event for client.event_send in %v", doc.TraceEvents)
+	}
+}
+
+func TestMetricsMuxBuildsTwiceWithoutPanic(t *testing.T) {
+	// expvar.Publish panics on duplicate names; the mux must guard it so
+	// tests (and any future multi-listener setup) can build several muxes.
+	metricsMux(obs.NewRegistry(), nil, nil)
+	metricsMux(obs.NewRegistry(), nil, nil)
+}
+
+func TestDebugTraceNilTracerAndFlight(t *testing.T) {
+	srv := httptest.NewServer(metricsMux(obs.NewRegistry(), nil, nil))
+	defer srv.Close()
+	var dump traceDump
+	getJSON(t, srv.URL+"/debug/trace", &dump)
+	if len(dump.Spans) != 0 || len(dump.Flight) != 0 {
+		t.Fatalf("nil tracer/flight produced data: %+v", dump)
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := parseLogLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("parseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseLogLevel("loud"); err == nil || !strings.Contains(err.Error(), "unknown log level") {
+		t.Fatalf("parseLogLevel(loud) err = %v, want unknown-level error", err)
+	}
+}

@@ -107,6 +107,15 @@ type (
 	// MetricsSummary digests a latency histogram (count, mean, p50/p95/p99,
 	// max).
 	MetricsSummary = obs.Summary
+	// Tracer records causal spans for every hop of a coupled event; pass the
+	// same instance as ServerOptions.Tracer and ClientOptions.Tracer to
+	// observe the full chain. Nil disables tracing at zero cost.
+	Tracer = obs.Tracer
+	// TraceSpan is one recorded hop of a causal trace.
+	TraceSpan = obs.Span
+	// FlightRecorder keeps the last N decoded protocol envelopes per
+	// connection (ServerOptions.Flight).
+	FlightRecorder = obs.FlightRecorder
 )
 
 // NewMetrics returns a recording metrics registry to pass as
@@ -116,6 +125,14 @@ func NewMetrics() *MetricsRegistry { return obs.NewRegistry() }
 // DisabledMetrics is the no-op sink: measurement code vanishes to
 // zero-allocation nil-handle calls.
 var DisabledMetrics = obs.Disabled
+
+// NewTracer returns a causal tracer whose ring holds at least n spans
+// (n <= 0 selects the default size).
+func NewTracer(n int) *Tracer { return obs.NewTracer(n) }
+
+// NewFlightRecorder returns a protocol flight recorder keeping the last n
+// envelopes per connection (n <= 0 selects the default depth).
+func NewFlightRecorder(n int) *FlightRecorder { return obs.NewFlightRecorder(n) }
 
 // Toolkit types.
 type (

@@ -13,6 +13,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -74,6 +75,14 @@ type Options struct {
 	// Metrics receives the client's RPC and re-execution latency
 	// histograms. Nil disables measurement (zero-allocation no-ops).
 	Metrics obs.Sink
+	// Tracer records causal spans for this instance's hops: event sends and
+	// remote re-executions. Setting it also opts the connection into the
+	// wire trace extension, so leave it nil when the server may predate the
+	// extension. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// Logger receives structured logs keyed by instance and trace IDs. Nil
+	// disables structured logging.
+	Logger *slog.Logger
 	// Logf receives diagnostic output; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -102,6 +111,9 @@ type Client struct {
 	// Metric handles (nil-safe no-ops when Options.Metrics is nil).
 	mRPC  *obs.Histogram // client.rpc_ns: request/response round trips
 	mExec *obs.Histogram // client.exec_ns: remote-event re-execution to ack
+
+	tr   *obs.Tracer  // nil when tracing is disabled
+	slog *slog.Logger // never nil (discards when Options.Logger is nil)
 }
 
 // New performs the registration handshake over conn and starts the client
@@ -128,6 +140,14 @@ func New(conn net.Conn, opts Options) (*Client, error) {
 		rdone:   make(chan struct{}),
 		mRPC:    metrics.Histogram("client.rpc_ns"),
 		mExec:   metrics.Histogram("client.exec_ns"),
+		tr:      opts.Tracer,
+		slog:    obs.LoggerOr(opts.Logger).With("component", "client"),
+	}
+	if opts.Tracer != nil {
+		// We are the connection initiator, so we opt into the wire trace
+		// extension before speaking; the server's conn auto-detects it from
+		// our first traced frame.
+		c.conn.EnableTrace()
 	}
 	// Handshake: Register must be answered by Registered before the loops
 	// start.
@@ -151,6 +171,8 @@ func New(conn net.Conn, opts Options) (*Client, error) {
 	c.mu.Lock()
 	c.nextSeq = 1
 	c.mu.Unlock()
+	c.slog = c.slog.With("inst", string(c.id))
+	c.slog.Debug("registered", "user", opts.User, "host", opts.Host)
 
 	// Hook the toolkit: local events on coupled objects go through the
 	// server; everything else is processed locally.
@@ -231,6 +253,12 @@ func (c *Client) Close() {
 
 // call sends a request and waits for its correlated reply.
 func (c *Client) call(msg wire.Message) (wire.Envelope, error) {
+	return c.callCtx(msg, obs.TraceContext{})
+}
+
+// callCtx is call with causal-trace context stamped on the request
+// envelope; the server parents its hop spans under tc.
+func (c *Client) callCtx(msg wire.Message, tc obs.TraceContext) (wire.Envelope, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -243,7 +271,7 @@ func (c *Client) call(msg wire.Message) (wire.Envelope, error) {
 	c.mu.Unlock()
 
 	t0 := c.mRPC.Start()
-	if err := c.conn.Write(wire.Envelope{Seq: seq, Msg: msg}); err != nil {
+	if err := c.conn.Write(wire.Envelope{Seq: seq, Trace: tc, Msg: msg}); err != nil {
 		c.dropWaiter(seq)
 		return wire.Envelope{}, fmt.Errorf("client: send %s: %w", msg.MsgType(), err)
 	}
@@ -339,7 +367,7 @@ func (c *Client) dispatchLoop() {
 	for env := range c.inbox {
 		switch m := env.Msg.(type) {
 		case wire.Exec:
-			c.handleExec(m)
+			c.handleExec(env.Trace, m)
 		case wire.SetLocks:
 			for _, path := range m.Paths {
 				if w, err := c.reg.Lookup(path); err == nil {

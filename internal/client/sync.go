@@ -6,6 +6,7 @@ import (
 
 	"cosoft/internal/attr"
 	"cosoft/internal/couple"
+	"cosoft/internal/obs"
 	"cosoft/internal/widget"
 	"cosoft/internal/wire"
 )
@@ -35,16 +36,10 @@ func (c *Client) handleLocalEvent(e *widget.Event) {
 		c.logf("client %s: feedback %s: %v", c.id, e, err)
 		return
 	}
-	env, err := c.call(wire.Event{Path: e.Path, Name: e.Name, Args: e.Args})
+	res, err := c.eventRoundTrip(e)
 	if err != nil {
 		undo()
 		c.logf("client %s: event %s: %v", c.id, e, err)
-		return
-	}
-	res, ok := env.Msg.(wire.EventResult)
-	if !ok {
-		undo()
-		c.logf("client %s: event %s: unexpected reply %s", c.id, e, env.Msg.MsgType())
 		return
 	}
 	if !res.OK {
@@ -55,6 +50,39 @@ func (c *Client) handleLocalEvent(e *widget.Event) {
 	// Accepted: run the application callbacks locally, exactly as the
 	// coupled instances will when they receive the Exec broadcast.
 	c.reg.RunCallbacks(e)
+}
+
+// eventRoundTrip offers one local event to the server and waits for the
+// verdict. It is the root of the event's causal trace: the
+// "client.event_send" span covers the full round trip (send → server
+// processing → EventResult receipt), and its context rides the Event
+// envelope so every downstream hop descends from it.
+func (c *Client) eventRoundTrip(e *widget.Event) (wire.EventResult, error) {
+	sp := c.tr.StartRoot("client.event_send", string(c.id))
+	if sp.Active() {
+		sp.SetNote(e.Path + " " + e.Name)
+	}
+	env, err := c.callCtx(wire.Event{Path: e.Path, Name: e.Name, Args: e.Args}, sp.Context())
+	if err != nil {
+		sp.EndNote("error: " + err.Error())
+		return wire.EventResult{}, err
+	}
+	res, ok := env.Msg.(wire.EventResult)
+	if !ok {
+		sp.EndNote("unexpected reply")
+		return wire.EventResult{}, fmt.Errorf("client: unexpected reply %s", env.Msg.MsgType())
+	}
+	if sp.Active() {
+		if res.OK {
+			sp.EndNote("ok")
+		} else {
+			sp.EndNote("rejected: " + res.Reason)
+			c.slog.Debug("event rejected",
+				"path", e.Path, "event", e.Name, "reason", res.Reason,
+				"trace", sp.Context().Trace)
+		}
+	}
+	return res, nil
 }
 
 // DispatchChecked dispatches a local event like widget.Registry.Dispatch but
@@ -69,15 +97,10 @@ func (c *Client) DispatchChecked(e *widget.Event) error {
 	if err != nil {
 		return err
 	}
-	env, err := c.call(wire.Event{Path: e.Path, Name: e.Name, Args: e.Args})
+	res, err := c.eventRoundTrip(e)
 	if err != nil {
 		undo()
 		return err
-	}
-	res, ok := env.Msg.(wire.EventResult)
-	if !ok {
-		undo()
-		return fmt.Errorf("client: unexpected reply %s", env.Msg.MsgType())
 	}
 	if !res.OK {
 		undo()
@@ -91,8 +114,15 @@ func (c *Client) DispatchChecked(e *widget.Event) error {
 // group: "this event packed with some parameters is sent to the server.
 // Then the server broadcasts this message to the application instances where
 // it is unpacked and re-executed" (§3.2).
-func (c *Client) handleExec(m wire.Exec) {
+func (c *Client) handleExec(tc obs.TraceContext, m wire.Exec) {
 	t0 := c.mExec.Start()
+	// The re-execution span descends from the server's "server.exec_send"
+	// point; its context rides the ExecAck so the server's ack point in turn
+	// descends from the re-execution.
+	sp := c.tr.StartSpan(tc, "client.exec_apply", string(c.id))
+	if sp.Active() {
+		sp.SetNote(m.TargetPath + " " + m.Name)
+	}
 	e := &widget.Event{
 		Path:   m.TargetPath,
 		Name:   m.Name,
@@ -105,16 +135,21 @@ func (c *Client) handleExec(m wire.Exec) {
 		// unlocks.
 		if !errors.Is(err, widget.ErrNotFound) {
 			c.logf("client %s: exec %s: %v", c.id, e, err)
+			c.slog.Warn("exec failed",
+				"path", m.TargetPath, "event", m.Name, "error", err.Error(),
+				"trace", tc.Trace)
 		}
+		sp.SetNote("error")
 	} else {
 		c.markOrigin(e.Path, m.Origin.Instance)
 		if c.opts.OnRemoteEvent != nil {
 			c.opts.OnRemoteEvent(e)
 		}
 	}
-	if err := c.conn.Write(wire.Envelope{Msg: wire.ExecAck{EventID: m.EventID}}); err != nil {
+	if err := c.conn.Write(wire.Envelope{Trace: sp.Context(), Msg: wire.ExecAck{EventID: m.EventID}}); err != nil {
 		c.logf("client %s: exec ack: %v", c.id, err)
 	}
+	sp.End()
 	c.mExec.ObserveSince(t0)
 }
 

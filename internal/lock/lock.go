@@ -8,6 +8,7 @@ package lock
 
 import (
 	"sort"
+	"strconv"
 	"sync"
 
 	"cosoft/internal/couple"
@@ -30,6 +31,10 @@ type Table struct {
 	mAttempts *obs.Counter
 	mFailures *obs.Counter
 	mUndone   *obs.Counter
+
+	// tracer records one "lock.acquire" span per traced group acquisition
+	// (nil disables; see TraceWith).
+	tracer *obs.Tracer
 }
 
 // NewTable returns an empty lock table.
@@ -47,6 +52,41 @@ func (t *Table) Instrument(attempts, failures, undone *obs.Counter) {
 	t.mAttempts = attempts
 	t.mFailures = failures
 	t.mUndone = undone
+}
+
+// TraceWith attaches a causal tracer: each TryLockGroupCtx call with a valid
+// parent context records a "lock.acquire" span covering the table mutex wait
+// plus the probe, with the outcome in the note. Call before the table is
+// shared between goroutines.
+func (t *Table) TraceWith(tr *obs.Tracer) { t.tracer = tr }
+
+// TryLockGroupCtx is TryLockGroup with causal tracing: the acquisition is
+// recorded as a child span of parent. Without a tracer or trace context it
+// is exactly TryLockGroup.
+func (t *Table) TryLockGroupCtx(parent obs.TraceContext, refs []couple.ObjectRef, owner Owner) (bool, int) {
+	sp := t.tracer.StartSpan(parent, "lock.acquire", string(owner.Instance))
+	ok, attempted := t.TryLockGroup(refs, owner)
+	t.endAcquireSpan(sp, ok, attempted, len(refs))
+	return ok, attempted
+}
+
+// TryLockGroupOrderedCtx is TryLockGroupOrdered with causal tracing.
+func (t *Table) TryLockGroupOrderedCtx(parent obs.TraceContext, refs []couple.ObjectRef, owner Owner) (bool, int) {
+	sp := t.tracer.StartSpan(parent, "lock.acquire", string(owner.Instance))
+	ok, attempted := t.TryLockGroupOrdered(refs, owner)
+	t.endAcquireSpan(sp, ok, attempted, len(refs))
+	return ok, attempted
+}
+
+func (t *Table) endAcquireSpan(sp obs.SpanHandle, ok bool, attempted, group int) {
+	if !sp.Active() {
+		return
+	}
+	outcome := "granted n="
+	if !ok {
+		outcome = "denied after="
+	}
+	sp.EndNote(outcome + strconv.Itoa(attempted) + "/" + strconv.Itoa(group))
 }
 
 // TryLock attempts to lock one object for owner. It succeeds when the object

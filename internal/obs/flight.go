@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// FlightEntry is one decoded envelope as seen by the protocol flight
+// recorder: enough to reconstruct what a connection said recently without
+// retaining payloads.
+type FlightEntry struct {
+	// Time is Unix nanoseconds at recording.
+	Time int64 `json:"time"`
+	// Dir is "recv" (peer → server) or "send" (server → peer).
+	Dir string `json:"dir"`
+	// Type is the protocol message type name.
+	Type string `json:"type"`
+	// Seq and RefSeq are the envelope's correlation numbers.
+	Seq    uint64 `json:"seq,omitempty"`
+	RefSeq uint64 `json:"ref_seq,omitempty"`
+	// Trace is the envelope's trace ID, when it carried one.
+	Trace TraceID `json:"trace,omitempty"`
+	// Note carries a short message summary (path, event name, error text).
+	Note string `json:"note,omitempty"`
+}
+
+// DefaultFlightDepth is the per-connection ring size used when
+// NewFlightRecorder is given n <= 0.
+const DefaultFlightDepth = 64
+
+// maxFlightConns bounds how many connection rings are retained; when
+// exceeded, the ring with the oldest activity is evicted.
+const maxFlightConns = 128
+
+// FlightRecorder keeps the last N decoded envelopes per connection. All
+// methods are safe on a nil receiver and do nothing there, so a nil recorder
+// disables the feature without call-site branches.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	perConn int
+	conns   map[string]*flightRing
+}
+
+type flightRing struct {
+	entries []FlightEntry // ring storage, len == capacity once full
+	next    uint64        // total entries ever recorded
+	last    int64         // Time of the most recent entry (eviction key)
+}
+
+// NewFlightRecorder returns a recorder keeping the last n envelopes per
+// connection (n <= 0 selects DefaultFlightDepth).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightDepth
+	}
+	return &FlightRecorder{perConn: n, conns: make(map[string]*flightRing)}
+}
+
+// Enabled reports whether envelopes are being recorded.
+func (f *FlightRecorder) Enabled() bool { return f != nil }
+
+// Record appends one entry to conn's ring, stamping e.Time if zero.
+func (f *FlightRecorder) Record(conn string, e FlightEntry) {
+	if f == nil {
+		return
+	}
+	if e.Time == 0 {
+		e.Time = time.Now().UnixNano()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r, ok := f.conns[conn]
+	if !ok {
+		if len(f.conns) >= maxFlightConns {
+			f.evictOldestLocked()
+		}
+		r = &flightRing{entries: make([]FlightEntry, 0, f.perConn)}
+		f.conns[conn] = r
+	}
+	if len(r.entries) < f.perConn {
+		r.entries = append(r.entries, e)
+	} else {
+		r.entries[r.next%uint64(f.perConn)] = e
+	}
+	r.next++
+	r.last = e.Time
+}
+
+// evictOldestLocked drops the connection ring with the oldest activity.
+func (f *FlightRecorder) evictOldestLocked() {
+	var oldest string
+	var oldestTime int64
+	for name, r := range f.conns {
+		if oldest == "" || r.last < oldestTime {
+			oldest, oldestTime = name, r.last
+		}
+	}
+	delete(f.conns, oldest)
+}
+
+// Snapshot returns every connection's retained entries, oldest first.
+func (f *FlightRecorder) Snapshot() map[string][]FlightEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][]FlightEntry, len(f.conns))
+	for name, r := range f.conns {
+		entries := make([]FlightEntry, 0, len(r.entries))
+		if len(r.entries) == f.perConn && r.next > uint64(f.perConn) {
+			head := r.next % uint64(f.perConn)
+			entries = append(entries, r.entries[head:]...)
+			entries = append(entries, r.entries[:head]...)
+		} else {
+			entries = append(entries, r.entries...)
+		}
+		out[name] = entries
+	}
+	return out
+}
+
+// Conns returns the recorded connection names, sorted.
+func (f *FlightRecorder) Conns() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names := make([]string, 0, len(f.conns))
+	for name := range f.conns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// discardHandler is a slog.Handler that drops every record. (The standard
+// library gained slog.DiscardHandler only in Go 1.24; this module targets
+// 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var nopLogger = slog.New(discardHandler{})
+
+// NopLogger returns a logger that discards everything; its Enabled check is
+// false at every level, so argument evaluation is the only cost.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// LoggerOr returns l, or the discarding logger when l is nil — the idiom
+// for optional Options.Logger fields.
+func LoggerOr(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return nopLogger
+	}
+	return l
+}

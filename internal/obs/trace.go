@@ -1,0 +1,317 @@
+// Causal event tracing: spans recorded at every hop of a coupled event's
+// life (client send → server arrival → lock acquire → per-member Exec →
+// re-execution → ExecAck → unlock → EventResult) into a fixed-size lock-free
+// ring buffer.
+//
+// Like the metric handles in this package, the disabled form is free: every
+// method is safe on a nil *Tracer and does nothing there — no clock reads,
+// no ID generation, no allocation. Instrumented code therefore keeps an
+// unconditional call shape and pays only a nil check when tracing is off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one causal chain across instances. Zero means "no
+// trace": it is never generated and marks envelopes without trace context.
+type TraceID uint64
+
+// SpanID identifies one span within a trace. Zero means "no span".
+type SpanID uint64
+
+// String renders the ID in the fixed-width hex form used in logs.
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// String renders the ID in the fixed-width hex form used in logs.
+func (s SpanID) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// The IDs cross JSON as hex strings: the same form logs, the /debug/trace
+// query parameter, and the repl use — and 64-bit values survive consumers
+// that read JSON numbers as float64.
+
+func (t TraceID) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+
+func (t *TraceID) UnmarshalJSON(b []byte) error {
+	v, err := unmarshalHexID(b)
+	*t = TraceID(v)
+	return err
+}
+
+func (s SpanID) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+func (s *SpanID) UnmarshalJSON(b []byte) error {
+	v, err := unmarshalHexID(b)
+	*s = SpanID(v)
+	return err
+}
+
+func unmarshalHexID(b []byte) (uint64, error) {
+	var hex string
+	if err := json.Unmarshal(b, &hex); err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(hex, 16, 64)
+}
+
+// TraceContext is the propagated part of a trace: the chain identity plus
+// the sender's span, which becomes the parent of spans recorded at the
+// receiver. The zero value means "not traced" and propagates nothing.
+type TraceContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context carries a trace.
+func (tc TraceContext) Valid() bool { return tc.Trace != 0 }
+
+// Span is one recorded hop of a trace. Start and End are Unix nanoseconds;
+// instantaneous spans have Start == End.
+type Span struct {
+	Trace  TraceID `json:"trace"`
+	ID     SpanID  `json:"id"`
+	Parent SpanID  `json:"parent,omitempty"`
+	// Name is the hop, e.g. "server.exec_send" (see the README table).
+	Name string `json:"name"`
+	// Inst is the recording instance ("server" or an instance ID).
+	Inst string `json:"inst"`
+	// Note carries hop detail: object path, event name, lock outcome.
+	Note  string `json:"note,omitempty"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+}
+
+// Duration returns the span's length.
+func (s Span) Duration() time.Duration { return time.Duration(s.End - s.Start) }
+
+// newID returns a random non-zero ID. math/rand/v2's global generator is
+// allocation-free and safe for concurrent use.
+func newID() uint64 {
+	for {
+		if v := rand.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// Tracer records spans into a fixed-size lock-free ring buffer: writers
+// claim a slot with one atomic add and publish the span with one atomic
+// pointer store, so recording never blocks and old spans are overwritten
+// when the ring wraps.
+type Tracer struct {
+	seq  atomic.Uint64
+	ring []atomic.Pointer[Span]
+	mask uint64
+}
+
+// DefaultTraceBuffer is the ring size used when NewTracer is given n <= 0.
+const DefaultTraceBuffer = 4096
+
+// NewTracer returns a tracer whose ring holds at least n spans (rounded up
+// to a power of two; n <= 0 selects DefaultTraceBuffer).
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultTraceBuffer
+	}
+	size := 1 << bits.Len(uint(n-1))
+	return &Tracer{ring: make([]atomic.Pointer[Span], size), mask: uint64(size - 1)}
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// NewTrace mints the root context of a new causal chain: a fresh trace ID
+// with no parent span. It returns the zero context on a nil tracer.
+func (t *Tracer) NewTrace() TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	return TraceContext{Trace: TraceID(newID())}
+}
+
+// record publishes one finished span.
+func (t *Tracer) record(s Span) {
+	pos := t.seq.Add(1) - 1
+	sp := s // escapes: one allocation per recorded span, only when enabled
+	t.ring[pos&t.mask].Store(&sp)
+}
+
+// StartSpan opens a child span of parent. It returns the inert zero handle —
+// without reading the clock or generating IDs — when the tracer is nil or
+// the parent context carries no trace.
+func (t *Tracer) StartSpan(parent TraceContext, name, inst string) SpanHandle {
+	if t == nil || parent.Trace == 0 {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: t, s: Span{
+		Trace:  parent.Trace,
+		ID:     SpanID(newID()),
+		Parent: parent.Span,
+		Name:   name,
+		Inst:   inst,
+		Start:  time.Now().UnixNano(),
+	}}
+}
+
+// StartRoot opens the root span of a brand-new trace.
+func (t *Tracer) StartRoot(name, inst string) SpanHandle {
+	return t.StartSpan(t.NewTrace(), name, inst)
+}
+
+// Point records an instantaneous span under parent and returns the new
+// span's context (so even point events can parent later hops).
+func (t *Tracer) Point(parent TraceContext, name, inst, note string) TraceContext {
+	if t == nil || parent.Trace == 0 {
+		return TraceContext{}
+	}
+	now := time.Now().UnixNano()
+	s := Span{
+		Trace:  parent.Trace,
+		ID:     SpanID(newID()),
+		Parent: parent.Span,
+		Name:   name,
+		Inst:   inst,
+		Note:   note,
+		Start:  now,
+		End:    now,
+	}
+	t.record(s)
+	return TraceContext{Trace: s.Trace, Span: s.ID}
+}
+
+// SpanHandle is an open span. It is a value (no allocation); End records it.
+// The zero handle is inert: every method no-ops.
+type SpanHandle struct {
+	t *Tracer
+	s Span
+}
+
+// Active reports whether the span will be recorded. Call sites use it to
+// skip building notes when tracing is disabled.
+func (h SpanHandle) Active() bool { return h.t != nil }
+
+// Context returns the span's propagation context (zero when inert), used to
+// parent child spans and to stamp outgoing envelopes.
+func (h SpanHandle) Context() TraceContext {
+	if h.t == nil {
+		return TraceContext{}
+	}
+	return TraceContext{Trace: h.s.Trace, Span: h.s.ID}
+}
+
+// SetNote attaches hop detail to the span before End.
+func (h *SpanHandle) SetNote(note string) {
+	if h.t != nil {
+		h.s.Note = note
+	}
+}
+
+// End closes and records the span.
+func (h SpanHandle) End() {
+	if h.t == nil {
+		return
+	}
+	h.s.End = time.Now().UnixNano()
+	h.t.record(h.s)
+}
+
+// EndNote closes the span with a note in one call.
+func (h SpanHandle) EndNote(note string) {
+	if h.t == nil {
+		return
+	}
+	h.s.Note = note
+	h.End()
+}
+
+// Spans returns the recorded spans, oldest first. Concurrent recording can
+// make the snapshot slightly fuzzy at the wrap boundary; that is fine for a
+// debugging surface.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	total := t.seq.Load()
+	n := uint64(len(t.ring))
+	start := uint64(0)
+	if total > n {
+		start = total - n
+	}
+	out := make([]Span, 0, total-start)
+	for i := start; i < total; i++ {
+		if p := t.ring[i&t.mask].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// TraceSpans returns the recorded spans of one trace, ordered by start time.
+func (t *Tracer) TraceSpans(id TraceID) []Span {
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.Trace == id {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// WriteChromeTrace renders spans in the Chrome trace-event format
+// (chrome://tracing, Perfetto): one complete ("X") event per span, with one
+// row (tid) per recording instance and the trace/span identifiers in args.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	type chromeEvent struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur,omitempty"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	tids := make(map[string]int)
+	var events []chromeEvent
+	for _, s := range spans {
+		tid, ok := tids[s.Inst]
+		if !ok {
+			tid = len(tids) + 1
+			tids[s.Inst] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": s.Inst},
+			})
+		}
+		args := map[string]any{
+			"trace": s.Trace.String(),
+			"span":  s.ID.String(),
+		}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent.String()
+		}
+		if s.Note != "" {
+			args["note"] = s.Note
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "cosoft",
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.End-s.Start) / 1e3,
+			Pid:  1,
+			Tid:  tid,
+			Args: args,
+		})
+	}
+	return json.NewEncoder(w).Encode(map[string]any{"traceEvents": events})
+}

@@ -28,6 +28,9 @@ import (
 type REPL struct {
 	cli *client.Client
 	out io.Writer
+	// metricsBase is the cosoftd observability endpoint the trace command
+	// queries; empty disables it (see SetMetricsBase).
+	metricsBase string
 }
 
 // New returns a REPL driving the given client.
@@ -131,6 +134,7 @@ func init() {
 		"undo":      (*REPL).cmdUndo,
 		"redo":      (*REPL).cmdRedo,
 		"send":      (*REPL).cmdSend,
+		"trace":     (*REPL).cmdTrace,
 	}
 }
 
@@ -152,6 +156,7 @@ var helpText = map[string]string{
 	"undo":      "undo <path> — restore the last overwritten state",
 	"redo":      "redo <path> — re-apply the last undone state",
 	"send":      "send <command> [instance] <text> — CoSendCommand to one instance or broadcast",
+	"trace":     "trace [trace-id] — fetch and pretty-print recent causal spans and flight-recorder entries (needs -metrics-url)",
 }
 
 func (r *REPL) cmdHelp(args []string, raw string) error {

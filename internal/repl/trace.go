@@ -1,0 +1,153 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"cosoft/internal/obs"
+)
+
+// SetMetricsBase points the trace command at a cosoftd observability
+// endpoint, e.g. "http://localhost:9090". Empty (the default) disables it.
+func (r *REPL) SetMetricsBase(base string) {
+	r.metricsBase = strings.TrimSuffix(base, "/")
+}
+
+// traceDump mirrors the JSON served by cosoftd's /debug/trace.
+type traceDump struct {
+	Spans  []obs.Span                   `json:"spans"`
+	Flight map[string][]obs.FlightEntry `json:"flight"`
+}
+
+// cmdTrace fetches the server's recent causal spans and flight-recorder
+// entries and pretty-prints them: spans grouped per trace and indented by
+// parent link, flight entries grouped per connection.
+func (r *REPL) cmdTrace(args []string, raw string) error {
+	if r.metricsBase == "" {
+		return fmt.Errorf("no metrics endpoint configured (start with -metrics-url)")
+	}
+	url := r.metricsBase + "/debug/trace"
+	if len(args) > 0 {
+		url += "?trace=" + args[0]
+	}
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := httpc.Get(url)
+	if err != nil {
+		return fmt.Errorf("fetch traces: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch traces: %s returned %s", url, resp.Status)
+	}
+	var dump traceDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return fmt.Errorf("fetch traces: decode: %w", err)
+	}
+	r.printSpans(dump.Spans)
+	r.printFlight(dump.Flight)
+	return nil
+}
+
+// printSpans renders spans grouped by trace, each trace as a tree indented
+// by parent/child links, oldest trace first.
+func (r *REPL) printSpans(spans []obs.Span) {
+	if len(spans) == 0 {
+		fmt.Fprintln(r.out, "no spans recorded")
+		return
+	}
+	byTrace := make(map[obs.TraceID][]obs.Span)
+	var order []obs.TraceID
+	for _, s := range spans {
+		if _, seen := byTrace[s.Trace]; !seen {
+			order = append(order, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return earliestStart(byTrace[order[i]]) < earliestStart(byTrace[order[j]])
+	})
+	for _, id := range order {
+		group := byTrace[id]
+		sort.Slice(group, func(i, j int) bool { return group[i].Start < group[j].Start })
+		fmt.Fprintf(r.out, "trace %s (%d spans)\n", id, len(group))
+		known := make(map[obs.SpanID]bool, len(group))
+		for _, s := range group {
+			known[s.ID] = true
+		}
+		children := make(map[obs.SpanID][]obs.Span)
+		var roots []obs.Span
+		for _, s := range group {
+			if s.Parent != 0 && known[s.Parent] {
+				children[s.Parent] = append(children[s.Parent], s)
+			} else {
+				// True roots, plus spans whose parent fell out of the
+				// ring: both print at top level.
+				roots = append(roots, s)
+			}
+		}
+		for _, s := range roots {
+			r.printSpanTree(s, children, 1)
+		}
+	}
+}
+
+func earliestStart(spans []obs.Span) int64 {
+	min := spans[0].Start
+	for _, s := range spans[1:] {
+		if s.Start < min {
+			min = s.Start
+		}
+	}
+	return min
+}
+
+func (r *REPL) printSpanTree(s obs.Span, children map[obs.SpanID][]obs.Span, depth int) {
+	line := strings.Repeat("  ", depth) + s.Name
+	line += fmt.Sprintf(" [%s]", s.Inst)
+	if d := s.Duration(); d > 0 {
+		line += fmt.Sprintf(" %v", d.Round(time.Microsecond))
+	}
+	if s.Note != "" {
+		line += " — " + s.Note
+	}
+	fmt.Fprintln(r.out, line)
+	for _, c := range children[s.ID] {
+		r.printSpanTree(c, children, depth+1)
+	}
+}
+
+// printFlight renders the flight-recorder entries per connection.
+func (r *REPL) printFlight(flight map[string][]obs.FlightEntry) {
+	if len(flight) == 0 {
+		return
+	}
+	conns := make([]string, 0, len(flight))
+	for conn := range flight {
+		conns = append(conns, conn)
+	}
+	sort.Strings(conns)
+	for _, conn := range conns {
+		fmt.Fprintf(r.out, "flight %s (%d entries)\n", conn, len(flight[conn]))
+		for _, e := range flight[conn] {
+			ts := time.Unix(0, e.Time).Format("15:04:05.000000")
+			line := fmt.Sprintf("  %s %-4s %-12s", ts, e.Dir, e.Type)
+			if e.Seq != 0 {
+				line += fmt.Sprintf(" seq=%d", e.Seq)
+			}
+			if e.RefSeq != 0 {
+				line += fmt.Sprintf(" ref=%d", e.RefSeq)
+			}
+			if e.Trace != 0 {
+				line += " trace=" + e.Trace.String()
+			}
+			if e.Note != "" {
+				line += " — " + e.Note
+			}
+			fmt.Fprintln(r.out, line)
+		}
+	}
+}

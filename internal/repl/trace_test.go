@@ -1,0 +1,124 @@
+package repl
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cosoft/internal/obs"
+)
+
+// serveDump returns a REPL wired to a fake /debug/trace endpoint.
+func serveDump(t *testing.T, dump traceDump) (*REPL, *strings.Builder) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/trace" {
+			http.NotFound(w, r)
+			return
+		}
+		if id := r.URL.Query().Get("trace"); id != "" {
+			var kept []obs.Span
+			for _, s := range dump.Spans {
+				if s.Trace.String() == id {
+					kept = append(kept, s)
+				}
+			}
+			dump = traceDump{Spans: kept}
+		}
+		json.NewEncoder(w).Encode(dump)
+	}))
+	t.Cleanup(srv.Close)
+	var out strings.Builder
+	r := New(nil, &out)
+	r.SetMetricsBase(srv.URL)
+	return r, &out
+}
+
+func TestTraceCommandPrintsSpanTreeAndFlight(t *testing.T) {
+	dump := traceDump{
+		Spans: []obs.Span{
+			{Trace: 0xabc, ID: 1, Name: "client.event_send", Inst: "inst-a", Note: "/pad keypress", Start: 100, End: 9100},
+			{Trace: 0xabc, ID: 2, Parent: 1, Name: "server.event_arrival", Inst: "server", Start: 200, End: 9000},
+			{Trace: 0xabc, ID: 3, Parent: 2, Name: "client.exec_apply", Inst: "inst-b", Start: 300, End: 8000},
+		},
+		Flight: map[string][]obs.FlightEntry{
+			"inst-a": {{Time: 100, Dir: "recv", Type: "Event", Seq: 4, Trace: 0xabc, Note: "/pad keypress"}},
+		},
+	}
+	r, out := serveDump(t, dump)
+	if err := r.Execute("trace"); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"trace 0000000000000abc (3 spans)",
+		"  client.event_send [inst-a]",
+		"    server.event_arrival [server]",
+		"      client.exec_apply [inst-b]",
+		"— /pad keypress",
+		"flight inst-a (1 entries)",
+		"recv Event",
+		"seq=4",
+		"trace=0000000000000abc",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTraceCommandFiltersByID(t *testing.T) {
+	dump := traceDump{
+		Spans: []obs.Span{
+			{Trace: 0x1, ID: 1, Name: "client.event_send", Inst: "inst-a", Start: 100, End: 200},
+			{Trace: 0x2, ID: 2, Name: "client.event_send", Inst: "inst-b", Start: 300, End: 400},
+		},
+	}
+	r, out := serveDump(t, dump)
+	if err := r.Execute("trace " + obs.TraceID(0x2).String()); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "trace 0000000000000002") {
+		t.Fatalf("output missing requested trace:\n%s", got)
+	}
+	if strings.Contains(got, "trace 0000000000000001") {
+		t.Fatalf("output includes filtered-out trace:\n%s", got)
+	}
+}
+
+func TestTraceCommandOrphanSpansPrintAtTopLevel(t *testing.T) {
+	// A span whose parent fell out of the ring still prints (at top level)
+	// instead of disappearing.
+	dump := traceDump{Spans: []obs.Span{
+		{Trace: 0x9, ID: 5, Parent: 99, Name: "server.exec_ack", Inst: "server", Start: 10, End: 10},
+	}}
+	r, out := serveDump(t, dump)
+	if err := r.Execute("trace"); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if !strings.Contains(out.String(), "server.exec_ack") {
+		t.Fatalf("orphan span missing:\n%s", out.String())
+	}
+}
+
+func TestTraceCommandWithoutEndpoint(t *testing.T) {
+	var out strings.Builder
+	r := New(nil, &out)
+	err := r.Execute("trace")
+	if err == nil || !strings.Contains(err.Error(), "metrics endpoint") {
+		t.Fatalf("err = %v, want metrics-endpoint error", err)
+	}
+}
+
+func TestTraceCommandEmptyDump(t *testing.T) {
+	r, out := serveDump(t, traceDump{})
+	if err := r.Execute("trace"); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if !strings.Contains(out.String(), "no spans recorded") {
+		t.Fatalf("output = %q", out.String())
+	}
+}

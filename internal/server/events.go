@@ -5,6 +5,7 @@ import (
 
 	"cosoft/internal/couple"
 	"cosoft/internal/lock"
+	"cosoft/internal/obs"
 	"cosoft/internal/wire"
 )
 
@@ -22,32 +23,56 @@ type pendingEvent struct {
 	// start is the Event's arrival time for the round-trip histogram; zero
 	// when latency measurement is disabled.
 	start time.Time
+	// tc is the arrival span's trace context: the parent of the ack and
+	// unlock spans recorded when the round trip completes (zero when the
+	// event was not traced).
+	tc obs.TraceContext
 }
 
 // handleEvent implements the multiple-execution algorithm of §3.2. The
 // originating client has already applied the event's built-in feedback
 // locally; the server locks CO(o), broadcasts Exec to every coupled member,
 // and tells the origin whether to keep or undo its feedback.
-func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event) {
+//
+// tc is the trace context the Event envelope carried (the origin's
+// "client.event_send" span); every hop recorded here descends from it.
+func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event, tc obs.TraceContext) {
 	s.mEvents.Inc()
 	start := s.mEventRTT.Start()
+	arrival := s.tr.StartSpan(tc, "server.event_arrival", "server")
+	if arrival.Active() {
+		arrival.SetNote(m.Path + " " + m.Name)
+	}
+	actx := arrival.Context()
 	source := couple.ObjectRef{Instance: cl.id, Path: m.Path}
 	members := s.graph.CO(source)
 	if len(members) == 0 {
 		// Uncoupled object: nothing to synchronize; the local feedback
 		// stands.
-		cl.out.send(wire.Envelope{RefSeq: seq, Msg: wire.EventResult{OK: true}})
+		cl.out.send(wire.Envelope{
+			RefSeq: seq,
+			Trace:  s.tr.Point(actx, "server.event_result", "server", "ok uncoupled"),
+			Msg:    wire.EventResult{OK: true},
+		})
+		arrival.EndNote("uncoupled")
 		return
 	}
 
 	s.nextEventID++
 	eventID := s.nextEventID
 	owner := lock.Owner{Instance: cl.id, Seq: eventID}
-	ok, _ := s.lockGroup(members, owner)
+	ok, _ := s.lockGroup(actx, members, owner)
 	if !ok {
 		// Lock failed: the origin must undo the event's syntactic feedback.
 		s.mLockFails.Inc()
-		cl.out.send(wire.Envelope{RefSeq: seq, Msg: wire.EventResult{OK: false, Reason: "group locked"}})
+		s.slog.Debug("event denied: group locked",
+			"inst", string(cl.id), "path", m.Path, "event", m.Name, "trace", tc.Trace)
+		cl.out.send(wire.Envelope{
+			RefSeq: seq,
+			Trace:  s.tr.Point(actx, "server.event_result", "server", "denied: group locked"),
+			Msg:    wire.EventResult{OK: false, Reason: "group locked"},
+		})
+		arrival.EndNote("lock denied")
 		return
 	}
 
@@ -58,29 +83,43 @@ func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event) {
 		owner:   owner,
 		waiting: make(map[couple.InstanceID]int),
 		start:   start,
+		tc:      actx,
 	}
 	// Disable the locked objects at their instances, then broadcast the
 	// event for re-execution.
-	s.notifyLockChange(members, true, source)
+	s.notifyLockChange(actx, members, true, source)
 	fanout := 0
 	for _, member := range members {
 		target, connected := s.clients[member.Instance]
 		if !connected {
 			continue
 		}
-		target.out.send(wire.Envelope{Msg: wire.Exec{
-			EventID:    eventID,
-			TargetPath: member.Path,
-			Name:       m.Name,
-			Args:       m.Args,
-			Origin:     source,
-		}})
+		var execTC obs.TraceContext
+		if actx.Valid() {
+			execTC = s.tr.Point(actx, "server.exec_send", "server",
+				string(member.Instance)+" "+member.Path)
+		}
+		target.out.send(wire.Envelope{
+			Trace: execTC,
+			Msg: wire.Exec{
+				EventID:    eventID,
+				TargetPath: member.Path,
+				Name:       m.Name,
+				Args:       m.Args,
+				Origin:     source,
+			},
+		})
 		fanout++
 		pe.waiting[member.Instance]++
 	}
 	s.mExecsSent.Add(uint64(fanout))
 	s.mFanout.Observe(int64(fanout))
-	cl.out.send(wire.Envelope{RefSeq: seq, Msg: wire.EventResult{OK: true}})
+	cl.out.send(wire.Envelope{
+		RefSeq: seq,
+		Trace:  s.tr.Point(actx, "server.event_result", "server", "ok"),
+		Msg:    wire.EventResult{OK: true},
+	})
+	arrival.End()
 	if len(pe.waiting) == 0 {
 		// All members belonged to disconnected instances.
 		s.unlockEvent(pe)
@@ -89,8 +128,10 @@ func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event) {
 	s.pendingEvents[eventID] = pe
 }
 
-// handleExecAck records one member instance's completion of an Exec.
-func (s *Server) handleExecAck(cl *client, m wire.ExecAck) {
+// handleExecAck records one member instance's completion of an Exec. tc is
+// the context the ExecAck envelope carried (the member's "client.exec_apply"
+// span), so the ack point descends from the member's re-execution.
+func (s *Server) handleExecAck(cl *client, m wire.ExecAck, tc obs.TraceContext) {
 	pe, ok := s.pendingEvents[m.EventID]
 	if !ok {
 		return // stale ack (event already resolved by a disconnect)
@@ -98,6 +139,7 @@ func (s *Server) handleExecAck(cl *client, m wire.ExecAck) {
 	if pe.waiting[cl.id] == 0 {
 		return // ack from an instance we were not waiting for
 	}
+	s.tr.Point(tc, "server.exec_ack", "server", string(cl.id))
 	pe.waiting[cl.id]--
 	if pe.waiting[cl.id] == 0 {
 		delete(pe.waiting, cl.id)
@@ -114,6 +156,7 @@ func (s *Server) finishEvent(id uint64, pe *pendingEvent) {
 
 func (s *Server) unlockEvent(pe *pendingEvent) {
 	s.locks.UnlockGroup(pe.members, pe.owner)
-	s.notifyLockChange(pe.members, false, pe.source)
+	s.tr.Point(pe.tc, "server.unlock", "server", "")
+	s.notifyLockChange(pe.tc, pe.members, false, pe.source)
 	s.mEventRTT.ObserveSince(pe.start)
 }

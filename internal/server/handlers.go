@@ -6,6 +6,7 @@ import (
 
 	"cosoft/internal/couple"
 	"cosoft/internal/lock"
+	"cosoft/internal/obs"
 	"cosoft/internal/perm"
 	"cosoft/internal/wire"
 )
@@ -26,9 +27,9 @@ func (s *Server) handle(cl *client, env wire.Envelope) {
 	case wire.Decouple:
 		s.handleDecouple(cl, env.Seq, m)
 	case wire.Event:
-		s.handleEvent(cl, env.Seq, m)
+		s.handleEvent(cl, env.Seq, m, env.Trace)
 	case wire.ExecAck:
-		s.handleExecAck(cl, m)
+		s.handleExecAck(cl, m, env.Trace)
 	case wire.CopyTo:
 		s.handleCopyTo(cl, env.Seq, m)
 	case wire.CopyFrom:
@@ -258,6 +259,7 @@ func (s *Server) dropClient(cl *client, reason string) {
 		return // already dropped
 	}
 	s.logf("server: %s leaving (%s)", cl.id, reason)
+	s.slog.Info("instance leaving", "inst", string(cl.id), "reason", reason)
 	delete(s.clients, cl.id)
 	s.mClients.Add(-1)
 
@@ -304,8 +306,9 @@ func (s *Server) dropClient(cl *client, reason string) {
 }
 
 // notifyLockChange tells each instance owning locked members to disable or
-// re-enable those widgets.
-func (s *Server) notifyLockChange(members []couple.ObjectRef, locked bool, skip couple.ObjectRef) {
+// re-enable those widgets. SetLocks envelopes carry the event's trace
+// context so member instances can attribute the disable/enable to the event.
+func (s *Server) notifyLockChange(tc obs.TraceContext, members []couple.ObjectRef, locked bool, skip couple.ObjectRef) {
 	perInstance := make(map[couple.InstanceID][]string)
 	for _, m := range members {
 		if m == skip {
@@ -315,15 +318,16 @@ func (s *Server) notifyLockChange(members []couple.ObjectRef, locked bool, skip 
 	}
 	for id, paths := range perInstance {
 		if c, ok := s.clients[id]; ok {
-			c.out.send(wire.Envelope{Msg: wire.SetLocks{Paths: paths, Locked: locked}})
+			c.out.send(wire.Envelope{Trace: tc, Msg: wire.SetLocks{Paths: paths, Locked: locked}})
 		}
 	}
 }
 
-// lockGroup applies the configured group-locking variant.
-func (s *Server) lockGroup(refs []couple.ObjectRef, owner lock.Owner) (bool, int) {
+// lockGroup applies the configured group-locking variant, recording a
+// "lock.acquire" span under tc when tracing.
+func (s *Server) lockGroup(tc obs.TraceContext, refs []couple.ObjectRef, owner lock.Owner) (bool, int) {
 	if s.opts.OrderedLocking {
-		return s.locks.TryLockGroupOrdered(refs, owner)
+		return s.locks.TryLockGroupOrderedCtx(tc, refs, owner)
 	}
-	return s.locks.TryLockGroup(refs, owner)
+	return s.locks.TryLockGroupCtx(tc, refs, owner)
 }

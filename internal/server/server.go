@@ -13,6 +13,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -46,6 +47,16 @@ type Options struct {
 	// histograms. Nil means a private enabled registry (so Stats keeps
 	// working); pass obs.Disabled to remove all measurement cost.
 	Metrics obs.Sink
+	// Tracer records causal spans for every hop of an event's life
+	// (arrival, lock acquire, per-member Exec, ExecAck, unlock,
+	// EventResult). Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// Flight is the protocol flight recorder: the last N decoded envelopes
+	// per connection, both directions. Nil disables recording.
+	Flight *obs.FlightRecorder
+	// Logger receives structured logs keyed by instance and trace IDs. Nil
+	// disables structured logging.
+	Logger *slog.Logger
 	// Logf receives diagnostic output; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -59,6 +70,10 @@ type Server struct {
 	locks   *lock.Table
 	history *hist.DB
 	perms   *perm.Table
+
+	tr     *obs.Tracer
+	flight *obs.FlightRecorder
+	slog   *slog.Logger
 
 	reqs chan func()
 	quit chan struct{}
@@ -125,6 +140,9 @@ type client struct {
 	user string
 	conn *wire.Conn
 	out  *outbox
+	// name keys this connection in the flight recorder; it is the remote
+	// address until registration assigns the instance ID.
+	name string
 }
 
 // New returns a started server. Call Close to stop it.
@@ -143,6 +161,9 @@ func New(opts Options) *Server {
 	}
 	s := &Server{
 		opts:          opts,
+		tr:            opts.Tracer,
+		flight:        opts.Flight,
+		slog:          obs.LoggerOr(opts.Logger).With("component", "server"),
 		checker:       compat.NewChecker(opts.Classes, opts.Correspondences),
 		reg:           registry.NewStore(),
 		graph:         couple.NewGraph(),
@@ -167,6 +188,7 @@ func New(opts Options) *Server {
 		mLockUndone:   metrics.Counter("lock.undo_locked"),
 	}
 	s.locks.Instrument(s.mLockAttempts, metrics.Counter("lock.group_failures"), s.mLockUndone)
+	s.locks.TraceWith(opts.Tracer)
 	s.wg.Add(1)
 	go s.loop()
 	return s
@@ -305,8 +327,9 @@ func (s *Server) handleConn(c *wire.Conn) {
 	cl := &client{
 		user: reg.User,
 		conn: c,
-		out:  newOutbox(c, s.mOutboxDepth),
+		name: c.RemoteAddr().String(),
 	}
+	cl.out = newOutbox(c, s.mOutboxDepth, s.outboxRecorder(cl))
 	registered := make(chan bool, 1)
 	if !s.post(func() {
 		cl.id = s.reg.NewID(reg.AppType)
@@ -317,6 +340,8 @@ func (s *Server) handleConn(c *wire.Conn) {
 		}
 		s.clients[cl.id] = cl
 		s.mClients.Add(1)
+		cl.name = string(cl.id)
+		s.recordFlight(cl, "recv", env)
 		cl.out.send(wire.Envelope{RefSeq: env.Seq, Msg: wire.Registered{ID: cl.id}})
 		registered <- true
 	}) {
@@ -329,13 +354,18 @@ func (s *Server) handleConn(c *wire.Conn) {
 		return
 	}
 	s.logf("server: %s registered (user=%s host=%s)", cl.id, reg.User, reg.Host)
+	s.slog.Info("instance registered",
+		"inst", string(cl.id), "user", reg.User, "host", reg.Host, "app", reg.AppType)
 
 	for {
 		env, err := c.Read()
 		if err != nil {
 			break
 		}
-		if !s.post(func() { s.handle(cl, env) }) {
+		if !s.post(func() {
+			s.recordFlight(cl, "recv", env)
+			s.handle(cl, env)
+		}) {
 			break
 		}
 	}
@@ -343,6 +373,68 @@ func (s *Server) handleConn(c *wire.Conn) {
 	s.post(func() { s.dropClient(cl, "connection closed") })
 	cl.out.close()
 	c.Close()
+}
+
+// outboxRecorder returns the outbox send hook that feeds the flight
+// recorder, or nil when recording is disabled so sends stay cost-free.
+func (s *Server) outboxRecorder(cl *client) func(wire.Envelope) {
+	if s.flight == nil {
+		return nil
+	}
+	return func(env wire.Envelope) { s.recordFlight(cl, "send", env) }
+}
+
+// recordFlight logs one envelope against cl's connection. cl.name is read
+// without synchronization: both the rename and every recorded envelope
+// happen on the state loop (or before the connection is shared).
+func (s *Server) recordFlight(cl *client, dir string, env wire.Envelope) {
+	if s.flight == nil {
+		return
+	}
+	s.flight.Record(cl.name, obs.FlightEntry{
+		Dir:    dir,
+		Type:   env.Msg.MsgType().String(),
+		Seq:    env.Seq,
+		RefSeq: env.RefSeq,
+		Trace:  env.Trace.Trace,
+		Note:   flightNote(env.Msg),
+	})
+}
+
+// flightNote summarizes a message for the flight recorder without retaining
+// payloads.
+func flightNote(m wire.Message) string {
+	switch m := m.(type) {
+	case wire.Event:
+		return m.Path + " " + m.Name
+	case wire.Exec:
+		return m.TargetPath + " " + m.Name
+	case wire.EventResult:
+		if m.OK {
+			return "ok"
+		}
+		return "denied: " + m.Reason
+	case wire.Declare:
+		return m.Path + " (" + m.Class + ")"
+	case wire.Retract:
+		return m.Path
+	case wire.Register:
+		return m.AppType + "/" + m.User + "@" + m.Host
+	case wire.Registered:
+		return string(m.ID)
+	case wire.Couple:
+		return stateID(m.From) + " -> " + stateID(m.To)
+	case wire.Decouple:
+		return stateID(m.From) + " x " + stateID(m.To)
+	case wire.Command:
+		return m.Name
+	case wire.CommandDeliver:
+		return m.Name + " from " + string(m.From)
+	case wire.Err:
+		return m.Text
+	default:
+		return ""
+	}
 }
 
 // outbox decouples the state loop from connection back-pressure: the loop
@@ -355,11 +447,12 @@ type outbox struct {
 	queue  []wire.Envelope
 	closed bool
 	done   chan struct{}
-	depth  *obs.Gauge // shared across outboxes: total server backlog
+	depth  *obs.Gauge          // shared across outboxes: total server backlog
+	onSend func(wire.Envelope) // flight-recorder hook; nil when disabled
 }
 
-func newOutbox(c *wire.Conn, depth *obs.Gauge) *outbox {
-	o := &outbox{done: make(chan struct{}), depth: depth}
+func newOutbox(c *wire.Conn, depth *obs.Gauge, onSend func(wire.Envelope)) *outbox {
+	o := &outbox{done: make(chan struct{}), depth: depth, onSend: onSend}
 	o.cond = sync.NewCond(&o.mu)
 	go func() {
 		defer close(o.done)
@@ -398,6 +491,9 @@ func (o *outbox) send(env wire.Envelope) {
 		o.cond.Signal()
 	}
 	o.mu.Unlock()
+	if o.onSend != nil {
+		o.onSend(env)
+	}
 }
 
 func (o *outbox) close() {

@@ -3,6 +3,8 @@ package wire
 import (
 	"encoding/binary"
 	"testing"
+
+	"cosoft/internal/obs"
 )
 
 // FuzzDecodeMessage asserts the message decoder never panics on arbitrary
@@ -28,6 +30,8 @@ func FuzzDecodeMessage(f *testing.F) {
 }
 
 // FuzzConnRead asserts the framed reader never panics on arbitrary streams.
+// The corpus seeds both envelope encodings: the pre-trace layout and the
+// traceFlag layout with trace/span varints after refSeq.
 func FuzzConnRead(f *testing.F) {
 	env := Envelope{Seq: 3, Msg: OK{}}
 	var frame []byte
@@ -38,6 +42,23 @@ func FuzzConnRead(f *testing.F) {
 	frame = append(frame, body...)
 	f.Add(frame)
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	// Traced frame: flag bit set, trace/span varints present.
+	tbody := binary.LittleEndian.AppendUint16(nil, uint16(TExecAck)|traceFlag)
+	tbody = binary.AppendUvarint(tbody, 1)      // seq
+	tbody = binary.AppendUvarint(tbody, 0)      // refSeq
+	tbody = binary.AppendUvarint(tbody, 0xbeef) // trace id
+	tbody = binary.AppendUvarint(tbody, 0xcafe) // span id
+	tbody = ExecAck{EventID: 9}.encode(tbody)
+	tframe := binary.LittleEndian.AppendUint32(nil, uint32(len(tbody)))
+	tframe = append(tframe, tbody...)
+	f.Add(tframe)
+	// Flag bit set but trace varints truncated.
+	hbody := binary.LittleEndian.AppendUint16(nil, uint16(TOK)|traceFlag)
+	hbody = binary.AppendUvarint(hbody, 1)
+	hbody = binary.AppendUvarint(hbody, 0)
+	hframe := binary.LittleEndian.AppendUint32(nil, uint32(len(hbody)))
+	hframe = append(hframe, hbody...)
+	f.Add(hframe)
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		a, b := Pipe()
 		defer a.Close()
@@ -65,4 +86,51 @@ func FuzzConnRead(f *testing.F) {
 func writeRaw(c *Conn, raw []byte) error {
 	_, err := c.conn.Write(raw)
 	return err
+}
+
+// FuzzEnvelopeHeader proves the envelope header codec is a bijection in
+// both encodings: arbitrary (seq, refSeq, trace, span) values written by a
+// trace-enabled Conn decode back exactly, and the same envelope written
+// without the extension decodes with the trace dropped — never corrupting
+// the message body in either direction.
+func FuzzEnvelopeHeader(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(0xbeef), uint64(0xcafe), true)
+	f.Add(uint64(0), uint64(7), uint64(0), uint64(0), false)
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), true)
+	f.Fuzz(func(t *testing.T, seq, refSeq, traceID, spanID uint64, traced bool) {
+		a, b := Pipe()
+		defer a.Close()
+		defer b.Close()
+		if traced {
+			a.EnableTrace()
+		}
+		env := Envelope{
+			Seq:    seq,
+			RefSeq: refSeq,
+			Trace:  obs.TraceContext{Trace: obs.TraceID(traceID), Span: obs.SpanID(spanID)},
+			Msg:    ExecAck{EventID: 42},
+		}
+		errc := make(chan error, 1)
+		go func() { errc <- a.Write(env) }()
+		got, err := b.Read()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if got.Seq != seq || got.RefSeq != refSeq {
+			t.Fatalf("seq/refSeq = %d/%d, want %d/%d", got.Seq, got.RefSeq, seq, refSeq)
+		}
+		if traced && traceID != 0 {
+			if got.Trace != env.Trace {
+				t.Fatalf("trace = %+v, want %+v", got.Trace, env.Trace)
+			}
+		} else if got.Trace.Valid() {
+			t.Fatalf("untraced write decoded trace %+v", got.Trace)
+		}
+		if ack, ok := got.Msg.(ExecAck); !ok || ack.EventID != 42 {
+			t.Fatalf("body corrupted: %+v", got.Msg)
+		}
+	})
 }

@@ -1,0 +1,248 @@
+package wire
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"cosoft/internal/obs"
+)
+
+// readN reads n envelopes from c on a goroutine.
+func readN(c *Conn, n int) <-chan []Envelope {
+	out := make(chan []Envelope, 1)
+	go func() {
+		var envs []Envelope
+		for i := 0; i < n; i++ {
+			env, err := c.Read()
+			if err != nil {
+				break
+			}
+			envs = append(envs, env)
+		}
+		out <- envs
+	}()
+	return out
+}
+
+func TestTraceRoundTripWhenEnabled(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	a.EnableTrace()
+
+	tc := obs.TraceContext{Trace: 0xdeadbeef, Span: 0x1234}
+	got := readN(b, 1)
+	if err := a.Write(Envelope{Seq: 7, Trace: tc, Msg: Event{Path: "/f", Name: "changed"}}); err != nil {
+		t.Fatal(err)
+	}
+	envs := <-got
+	if len(envs) != 1 {
+		t.Fatal("read failed")
+	}
+	if envs[0].Trace != tc {
+		t.Fatalf("trace = %+v, want %+v", envs[0].Trace, tc)
+	}
+	if envs[0].Seq != 7 {
+		t.Fatalf("seq = %d, want 7", envs[0].Seq)
+	}
+	if !b.TraceAware() {
+		t.Error("receiver did not latch peer trace awareness")
+	}
+}
+
+// TestTraceSuppressedForLegacyPeer asserts the legacy-compat invariant: a
+// connection that has neither opted in nor seen a traced frame emits frames
+// byte-identical to the pre-trace encoding, even when the envelope carries
+// trace context.
+func TestTraceSuppressedForLegacyPeer(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	// No EnableTrace on a; b never writes. a must strip the trace.
+	got := readN(b, 1)
+	tc := obs.TraceContext{Trace: 42, Span: 43}
+	if err := a.Write(Envelope{Seq: 1, Trace: tc, Msg: OK{}}); err != nil {
+		t.Fatal(err)
+	}
+	envs := <-got
+	if len(envs) != 1 {
+		t.Fatal("read failed")
+	}
+	if envs[0].Trace.Valid() {
+		t.Fatalf("legacy-mode frame carried trace %+v", envs[0].Trace)
+	}
+}
+
+// TestTraceAutoDetectFromPeer asserts the acceptor side: after reading one
+// traced frame, replies on the same connection may carry traces.
+func TestTraceAutoDetectFromPeer(t *testing.T) {
+	cli, srv := Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	cli.EnableTrace()
+
+	tc := obs.TraceContext{Trace: 9, Span: 10}
+	srvGot := readN(srv, 1)
+	if err := cli.Write(Envelope{Seq: 1, Trace: tc, Msg: Register{User: "u"}}); err != nil {
+		t.Fatal(err)
+	}
+	<-srvGot
+	if !srv.TraceAware() {
+		t.Fatal("server conn did not detect trace-aware peer")
+	}
+	// Server replies with trace; client must receive it.
+	reply := obs.TraceContext{Trace: 9, Span: 11}
+	cliGot := readN(cli, 1)
+	if err := srv.Write(Envelope{RefSeq: 1, Trace: reply, Msg: Registered{ID: "i1"}}); err != nil {
+		t.Fatal(err)
+	}
+	envs := <-cliGot
+	if len(envs) != 1 || envs[0].Trace != reply {
+		t.Fatalf("reply trace = %+v, want %+v", envs, reply)
+	}
+}
+
+// TestLegacyFrameBytesDecode hand-builds a pre-trace frame (no flag bit, no
+// trace varints) and asserts the new decoder accepts it unchanged — the
+// "new reader, old writer" direction of the compatibility matrix.
+func TestLegacyFrameBytesDecode(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	var body []byte
+	body = binary.LittleEndian.AppendUint16(body, uint16(TEvent))
+	body = binary.AppendUvarint(body, 5) // seq
+	body = binary.AppendUvarint(body, 0) // refSeq
+	body = Event{Path: "/f", Name: "changed"}.encode(body)
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+	frame = append(frame, body...)
+
+	got := readN(b, 1)
+	if err := writeRaw(a, frame); err != nil {
+		t.Fatal(err)
+	}
+	envs := <-got
+	if len(envs) != 1 {
+		t.Fatal("legacy frame rejected")
+	}
+	env := envs[0]
+	if env.Trace.Valid() {
+		t.Fatalf("legacy frame decoded with trace %+v", env.Trace)
+	}
+	ev, ok := env.Msg.(Event)
+	if !ok || ev.Path != "/f" || ev.Name != "changed" || env.Seq != 5 {
+		t.Fatalf("decoded %+v", env)
+	}
+	if b.TraceAware() {
+		t.Error("legacy frame must not latch trace awareness")
+	}
+}
+
+// TestTracedFrameBytesDecode hand-builds a flagged frame and asserts the
+// decoder extracts the context — the "new reader, new writer" byte layout
+// pinned independently of the encoder.
+func TestTracedFrameBytesDecode(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	var body []byte
+	body = binary.LittleEndian.AppendUint16(body, uint16(TExecAck)|traceFlag)
+	body = binary.AppendUvarint(body, 0)    // seq
+	body = binary.AppendUvarint(body, 0)    // refSeq
+	body = binary.AppendUvarint(body, 777)  // trace id
+	body = binary.AppendUvarint(body, 888)  // span id
+	body = ExecAck{EventID: 12}.encode(body)
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+	frame = append(frame, body...)
+
+	got := readN(b, 1)
+	if err := writeRaw(a, frame); err != nil {
+		t.Fatal(err)
+	}
+	envs := <-got
+	if len(envs) != 1 {
+		t.Fatal("traced frame rejected")
+	}
+	want := obs.TraceContext{Trace: 777, Span: 888}
+	if envs[0].Trace != want {
+		t.Fatalf("trace = %+v, want %+v", envs[0].Trace, want)
+	}
+	if ack, ok := envs[0].Msg.(ExecAck); !ok || ack.EventID != 12 {
+		t.Fatalf("decoded %+v", envs[0].Msg)
+	}
+}
+
+// TestTracedFrameTruncatedHeader asserts a flagged frame whose trace varints
+// are missing is rejected, not misparsed into the body.
+func TestTracedFrameTruncatedHeader(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	var body []byte
+	body = binary.LittleEndian.AppendUint16(body, uint16(TOK)|traceFlag)
+	body = binary.AppendUvarint(body, 0) // seq
+	body = binary.AppendUvarint(body, 0) // refSeq
+	// No trace varints, no body: decoding the trace id must fail cleanly.
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+	frame = append(frame, body...)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Read()
+		errc <- err
+	}()
+	if err := writeRaw(a, frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err == nil {
+		t.Fatal("truncated traced frame accepted")
+	}
+}
+
+// TestConcurrentTracedWrites exercises the write path's atomics under
+// concurrency: mixed traced/untraced envelopes from many goroutines all
+// arrive intact.
+func TestConcurrentTracedWrites(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	a.EnableTrace()
+
+	const n = 64
+	got := readN(b, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			env := Envelope{Seq: uint64(i + 1), Msg: OK{}}
+			if i%2 == 0 {
+				env.Trace = obs.TraceContext{Trace: obs.TraceID(i + 1), Span: obs.SpanID(i + 1)}
+			}
+			if err := a.Write(env); err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	envs := <-got
+	if len(envs) != n {
+		t.Fatalf("read %d envelopes, want %d", len(envs), n)
+	}
+	traced := 0
+	for _, env := range envs {
+		if env.Trace.Valid() {
+			traced++
+			if uint64(env.Trace.Trace) != env.Seq {
+				t.Errorf("seq %d carried trace %d", env.Seq, env.Trace.Trace)
+			}
+		}
+	}
+	if traced != n/2 {
+		t.Errorf("got %d traced envelopes, want %d", traced, n/2)
+	}
+}

@@ -8,6 +8,25 @@
 // length counts everything after the length field. seq is a sender-assigned
 // message number; replies carry the request's seq in refSeq so callers can
 // correlate responses without per-message bookkeeping fields.
+//
+// # Trace extension
+//
+// Frames may carry causal-trace context. The extension is signalled by the
+// traceFlag bit in the type field; when set, two uvarints — trace ID and
+// parent span ID — follow refSeq:
+//
+//	[u32 length][u16 type|traceFlag][uvarint seq][uvarint refSeq]
+//	[uvarint traceID][uvarint spanID][body]
+//
+// The encoding is backward compatible both ways: untraced frames are
+// byte-identical to the pre-trace protocol, and a Conn only emits flagged
+// frames to peers that have proven they understand them. A side that opted
+// in with EnableTrace (connection initiators, which speak first) flags every
+// frame it writes — context-free frames carry zero IDs — which announces
+// the capability to the acceptor from the first frame onward; an acceptor
+// latches that on Read and from then on flags the frames that carry
+// context. A legacy peer neither opts in nor sends flagged frames, so it
+// never sees the flag and a legacy stream decodes exactly as before.
 package wire
 
 import (
@@ -18,7 +37,14 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+
+	"cosoft/internal/obs"
 )
+
+// traceFlag marks a frame whose header carries trace context. It lives in
+// the type field's high bit, far above any assigned message type.
+const traceFlag uint16 = 0x8000
 
 // MaxFrame is the largest accepted frame body. Larger length prefixes are
 // treated as protocol errors rather than allocation requests.
@@ -35,6 +61,10 @@ type Envelope struct {
 	// RefSeq echoes the Seq of the request this message replies to; 0 when
 	// the message is not a reply.
 	RefSeq uint64
+	// Trace is the causal-trace context the frame carried (zero when the
+	// sender attached none). On outgoing envelopes it is only encoded for
+	// trace-aware peers; see the package comment.
+	Trace obs.TraceContext
 	// Msg is the decoded payload.
 	Msg Message
 }
@@ -45,6 +75,12 @@ type Conn struct {
 	wmu  sync.Mutex
 	rw   *bufio.ReadWriter
 	conn net.Conn
+
+	// sendTrace is the local opt-in (connection initiators call EnableTrace
+	// before speaking); peerTrace latches once the peer sends a traced
+	// frame. Either one licenses traced output.
+	sendTrace atomic.Bool
+	peerTrace atomic.Bool
 }
 
 // NewConn wraps a net.Conn. The caller retains responsibility for closing.
@@ -54,6 +90,18 @@ func NewConn(c net.Conn) *Conn {
 		conn: c,
 	}
 }
+
+// EnableTrace opts this side into the trace extension: every outgoing
+// envelope is encoded with the traceFlag (zero IDs when it carries no
+// context), announcing the capability to the peer. Only connection
+// initiators (who speak first) should call it; acceptors instead wait for
+// the peer to prove trace awareness, which Read latches automatically. Do
+// not enable when the remote peer may predate the extension.
+func (c *Conn) EnableTrace() { c.sendTrace.Store(true) }
+
+// TraceAware reports whether traced frames may be sent on this connection:
+// the local side opted in, or the peer has already sent one.
+func (c *Conn) TraceAware() bool { return c.sendTrace.Load() || c.peerTrace.Load() }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.conn.Close() }
@@ -66,10 +114,23 @@ func (c *Conn) Write(env Envelope) error {
 	if env.Msg == nil {
 		return errors.New("wire: nil message")
 	}
+	// An opted-in side flags every frame — even context-free ones (the IDs
+	// encode as two zero bytes) — so the peer learns the capability from the
+	// very first frame, before any traced traffic exists. A side that only
+	// detected the peer flags just the frames that actually carry context.
+	traced := c.sendTrace.Load() || (c.peerTrace.Load() && env.Trace.Trace != 0)
+	t := uint16(env.Msg.MsgType())
+	if traced {
+		t |= traceFlag
+	}
 	body := make([]byte, 0, 64)
-	body = binary.LittleEndian.AppendUint16(body, uint16(env.Msg.MsgType()))
+	body = binary.LittleEndian.AppendUint16(body, t)
 	body = binary.AppendUvarint(body, env.Seq)
 	body = binary.AppendUvarint(body, env.RefSeq)
+	if traced {
+		body = binary.AppendUvarint(body, uint64(env.Trace.Trace))
+		body = binary.AppendUvarint(body, uint64(env.Trace.Span))
+	}
 	body = env.Msg.encode(body)
 	if len(body) > MaxFrame {
 		return ErrFrameTooLarge
@@ -109,7 +170,8 @@ func (c *Conn) Read() (Envelope, error) {
 	if _, err := io.ReadFull(c.rw, body); err != nil {
 		return Envelope{}, fmt.Errorf("wire: read frame body: %w", err)
 	}
-	t := Type(binary.LittleEndian.Uint16(body))
+	rawType := binary.LittleEndian.Uint16(body)
+	t := Type(rawType &^ traceFlag)
 	body = body[2:]
 	seq, sz := binary.Uvarint(body)
 	if sz <= 0 {
@@ -121,11 +183,27 @@ func (c *Conn) Read() (Envelope, error) {
 		return Envelope{}, errors.New("wire: bad refSeq")
 	}
 	body = body[sz:]
+	var tc obs.TraceContext
+	if rawType&traceFlag != 0 {
+		traceID, sz := binary.Uvarint(body)
+		if sz <= 0 {
+			return Envelope{}, errors.New("wire: bad trace id")
+		}
+		body = body[sz:]
+		spanID, sz := binary.Uvarint(body)
+		if sz <= 0 {
+			return Envelope{}, errors.New("wire: bad span id")
+		}
+		body = body[sz:]
+		tc = obs.TraceContext{Trace: obs.TraceID(traceID), Span: obs.SpanID(spanID)}
+		// The peer speaks the extension; replies to it may carry traces.
+		c.peerTrace.Store(true)
+	}
 	msg, err := decodeMessage(t, body)
 	if err != nil {
 		return Envelope{}, err
 	}
-	return Envelope{Seq: seq, RefSeq: refSeq, Msg: msg}, nil
+	return Envelope{Seq: seq, RefSeq: refSeq, Trace: tc, Msg: msg}, nil
 }
 
 // Pipe returns a connected pair of Conns backed by net.Pipe, for in-process

@@ -1,0 +1,318 @@
+package cosoft_test
+
+// End-to-end coverage of the causal tracing layer: one coupled event driven
+// through three instances must leave the complete §3.2 chain in the span
+// ring, and a pre-trace ("legacy") peer must interoperate with a traced
+// server without ever seeing the wire extension.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/client"
+	"cosoft/internal/experiments"
+	"cosoft/internal/obs"
+	"cosoft/internal/server"
+	"cosoft/internal/widget"
+	"cosoft/internal/wire"
+)
+
+// TestCausalChainAcrossThreeInstances couples one textfield across three
+// instances, dispatches a single event from the first, and asserts that the
+// shared tracer holds the full causal chain with correct parent/child links:
+//
+//	client.event_send
+//	└ server.event_arrival
+//	  ├ lock.acquire
+//	  ├ server.exec_send ×2 ── client.exec_apply ×2 ── server.exec_ack ×2
+//	  ├ server.event_result
+//	  └ server.unlock
+func TestCausalChainAcrossThreeInstances(t *testing.T) {
+	tr := obs.NewTracer(1024)
+	cluster, err := experiments.NewCluster(3, `textfield field value=""`, 0,
+		server.Options{Tracer: tr},
+		client.Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.DeclareAll("/field"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.CoupleStar("/field"); err != nil {
+		t.Fatal(err)
+	}
+
+	origin := cluster.Clients[0]
+	ev := &widget.Event{Path: "/field", Name: widget.EventChanged,
+		Args: []attr.Value{attr.String("hello")}}
+	if err := origin.DispatchChecked(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.WaitValue("/field", "value", "hello"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ExecAcks and the unlock land after the origin's EventResult; poll
+	// until the whole chain (11 spans) is in the ring.
+	spans := waitForSpans(t, tr, 11)
+
+	byName := make(map[string][]obs.Span)
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	wantCounts := map[string]int{
+		"client.event_send":    1,
+		"server.event_arrival": 1,
+		"lock.acquire":         1,
+		"server.exec_send":     2,
+		"client.exec_apply":    2,
+		"server.exec_ack":      2,
+		"server.event_result":  1,
+		"server.unlock":        1,
+	}
+	for name, want := range wantCounts {
+		if got := len(byName[name]); got != want {
+			t.Errorf("%s: %d spans, want %d", name, got, want)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("spans: %+v", spans)
+	}
+
+	root := byName["client.event_send"][0]
+	if root.Inst != string(origin.ID()) {
+		t.Errorf("root span recorded by %q, want origin %q", root.Inst, origin.ID())
+	}
+	if root.Parent != 0 {
+		t.Errorf("root span has parent %s", root.Parent)
+	}
+	for _, s := range spans {
+		if s.Trace != root.Trace {
+			t.Errorf("span %s is on trace %s, want %s", s.Name, s.Trace, root.Trace)
+		}
+	}
+
+	arrival := byName["server.event_arrival"][0]
+	if arrival.Parent != root.ID {
+		t.Errorf("event_arrival parent = %s, want root %s", arrival.Parent, root.ID)
+	}
+	for _, name := range []string{"lock.acquire", "server.exec_send", "server.event_result", "server.unlock"} {
+		for _, s := range byName[name] {
+			if s.Parent != arrival.ID {
+				t.Errorf("%s parent = %s, want event_arrival %s", name, s.Parent, arrival.ID)
+			}
+		}
+	}
+
+	// Each member's re-execution descends from its own exec_send, and each
+	// ack from that member's re-execution.
+	execSends := make(map[obs.SpanID]bool)
+	for _, s := range byName["server.exec_send"] {
+		execSends[s.ID] = true
+	}
+	applies := make(map[obs.SpanID]bool)
+	applyInsts := make(map[string]bool)
+	for _, s := range byName["client.exec_apply"] {
+		if !execSends[s.Parent] {
+			t.Errorf("exec_apply on %s has parent %s, not an exec_send", s.Inst, s.Parent)
+		}
+		applies[s.ID] = true
+		applyInsts[s.Inst] = true
+	}
+	for _, member := range cluster.Clients[1:] {
+		if !applyInsts[string(member.ID())] {
+			t.Errorf("no exec_apply span from member %s", member.ID())
+		}
+	}
+	for _, s := range byName["server.exec_ack"] {
+		if !applies[s.Parent] {
+			t.Errorf("exec_ack for %s has parent %s, not an exec_apply", s.Note, s.Parent)
+		}
+	}
+
+	if got := byName["server.event_result"][0].Note; got != "ok" {
+		t.Errorf("event_result note = %q, want ok", got)
+	}
+	if got := byName["lock.acquire"][0].Note; got != "granted n=2/2" {
+		t.Errorf("lock.acquire note = %q, want granted n=2/2", got)
+	}
+}
+
+func waitForSpans(t *testing.T, tr *obs.Tracer, want int) []obs.Span {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		spans := tr.Spans()
+		if len(spans) >= want || time.Now().After(deadline) {
+			if len(spans) < want {
+				t.Fatalf("only %d spans recorded after 10s, want %d: %+v", len(spans), want, spans)
+			}
+			return spans
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// snoopConn records every byte a legacy peer exchanges so the test can
+// re-parse the raw frames afterwards.
+type snoopConn struct {
+	net.Conn
+	mu   sync.Mutex
+	rbuf bytes.Buffer // server → peer
+	wbuf bytes.Buffer // peer → server
+}
+
+func (s *snoopConn) Read(p []byte) (int, error) {
+	n, err := s.Conn.Read(p)
+	s.mu.Lock()
+	s.rbuf.Write(p[:n])
+	s.mu.Unlock()
+	return n, err
+}
+
+func (s *snoopConn) Write(p []byte) (int, error) {
+	n, err := s.Conn.Write(p)
+	if n > 0 {
+		s.mu.Lock()
+		s.wbuf.Write(p[:n])
+		s.mu.Unlock()
+	}
+	return n, err
+}
+
+// frameTypes walks the wire framing ([u32 len][u16 type][body]) and returns
+// the raw (unmasked) type field of every complete frame.
+func frameTypes(t *testing.T, buf []byte) []uint16 {
+	t.Helper()
+	var types []uint16
+	for len(buf) >= 4 {
+		n := binary.LittleEndian.Uint32(buf)
+		if len(buf) < 4+int(n) {
+			break // trailing partial frame
+		}
+		if n < 2 {
+			t.Fatalf("frame body of %d bytes", n)
+		}
+		types = append(types, binary.LittleEndian.Uint16(buf[4:]))
+		buf = buf[4+int(n):]
+	}
+	return types
+}
+
+// TestLegacyPeerInteropWithTracedServer connects a pre-trace peer (no
+// Tracer, so it never opts into the wire extension) to a server with tracing
+// enabled, alongside a traced peer whose events ARE traced server-side. The
+// legacy peer registers, couples, and exchanges events in both directions;
+// every raw frame it sees must have a clean type field (no 0x8000 flag).
+func TestLegacyPeerInteropWithTracedServer(t *testing.T) {
+	tr := obs.NewTracer(256)
+	srv := server.New(server.Options{Tracer: tr})
+	defer srv.Close()
+
+	dial := func(c net.Conn, name string, tracer *obs.Tracer) *client.Client {
+		reg := widget.NewRegistry()
+		if _, err := widget.Build(reg, "/", `textfield field value=""`); err != nil {
+			t.Fatal(err)
+		}
+		cli, err := client.New(c, client.Options{
+			AppType: "trace-test", User: name, Host: "local",
+			Registry: reg, RPCTimeout: 10 * time.Second, Tracer: tracer,
+		})
+		if err != nil {
+			t.Fatalf("dial %s: %v", name, err)
+		}
+		return cli
+	}
+
+	tc, ts := net.Pipe()
+	go srv.HandleConn(wire.NewConn(ts))
+	traced := dial(tc, "traced", tr)
+	defer traced.Close()
+
+	lc, ls := net.Pipe()
+	snoop := &snoopConn{Conn: lc}
+	go srv.HandleConn(wire.NewConn(ls))
+	legacy := dial(snoop, "legacy", nil)
+	defer legacy.Close()
+
+	for _, cli := range []*client.Client{traced, legacy} {
+		if err := cli.DeclareTree("/field"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := traced.Couple("/field", legacy.Ref("/field")); err != nil {
+		t.Fatal(err)
+	}
+	waitGroupSize := func(cli *client.Client) {
+		deadline := time.Now().Add(10 * time.Second)
+		for len(cli.CO("/field")) != 1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("coupling did not converge on %s", cli.ID())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitGroupSize(traced)
+	waitGroupSize(legacy)
+
+	waitValue := func(cli *client.Client, want string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			w, err := cli.Registry().Lookup("/field")
+			if err == nil && w.Attr("value").AsString() == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never saw value %q", cli.ID(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Traced origin → the Exec to the legacy member rides a traced chain
+	// server-side but must arrive in legacy framing.
+	dispatch := func(cli *client.Client, val string) {
+		ev := &widget.Event{Path: "/field", Name: widget.EventChanged,
+			Args: []attr.Value{attr.String(val)}}
+		if _, err := experiments.DispatchRetry(cli, ev); err != nil {
+			t.Fatalf("dispatch from %s: %v", cli.ID(), err)
+		}
+	}
+	dispatch(traced, "from-traced")
+	waitValue(legacy, "from-traced")
+	waitValue(traced, "from-traced")
+
+	// Legacy origin → the chain is untraced end to end.
+	dispatch(legacy, "from-legacy")
+	waitValue(traced, "from-legacy")
+	waitValue(legacy, "from-legacy")
+
+	// The traced chain really was traced (the server recorded spans) ...
+	if spans := tr.Spans(); len(spans) == 0 {
+		t.Error("traced peer's events recorded no spans")
+	}
+
+	// ... yet no frame in either direction of the legacy connection carried
+	// the trace flag.
+	snoop.mu.Lock()
+	recv := append([]byte(nil), snoop.rbuf.Bytes()...)
+	sent := append([]byte(nil), snoop.wbuf.Bytes()...)
+	snoop.mu.Unlock()
+	for dir, buf := range map[string][]byte{"recv": recv, "sent": sent} {
+		types := frameTypes(t, buf)
+		if len(types) == 0 {
+			t.Errorf("%s: no frames captured", dir)
+		}
+		for i, typ := range types {
+			if typ&0x8000 != 0 {
+				t.Errorf("%s frame %d: type %#04x carries the trace flag", dir, i, typ)
+			}
+		}
+	}
+}
