@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet verify bench
+.PHONY: all build test race vet verify bench chaos
 
 all: verify
 
@@ -23,6 +23,11 @@ race:
 	$(GO) test -race ./internal/server/... ./internal/lock/... ./internal/client/...
 
 verify: vet race
+
+# Soak the fault-injection tests: hung, partitioned, evicted, resumed and
+# duplicated connections, repeated under the race detector.
+chaos:
+	$(GO) test -race -run Chaos -count=3 ./...
 
 # Regenerates BENCH_obs.json (the metrics trajectory) along with the paper
 # benchmarks.

@@ -8,7 +8,9 @@ package cosoft_test
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"os"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,9 +18,11 @@ import (
 	"cosoft/internal/attr"
 	"cosoft/internal/client"
 	"cosoft/internal/experiments"
+	"cosoft/internal/netsim"
 	"cosoft/internal/obs"
 	"cosoft/internal/server"
 	"cosoft/internal/widget"
+	"cosoft/internal/wire"
 )
 
 // BenchmarkTable1Architectures runs the full capability probe suite of the
@@ -294,6 +298,97 @@ func BenchmarkEvent(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkReconnect measures one full recovery cycle of the fault-tolerance
+// layer: connection loss, backoff, session resume reclaiming the instance
+// ID, re-declaration, re-coupling and the CopyFrom state pull. The metric
+// snapshot (server.resumes, server.copies) is appended to the BENCH_obs.json
+// trajectory.
+func BenchmarkReconnect(b *testing.B) {
+	reg := obs.NewRegistry()
+	srv := server.New(server.Options{Metrics: reg})
+	defer srv.Close()
+	serve := func(conn net.Conn) {
+		go srv.HandleConn(wire.NewConn(conn))
+	}
+
+	newClient := func(user string, rec *client.ReconnectOptions) *cosoft.Client {
+		wreg := cosoft.NewRegistry()
+		cosoft.MustBuild(wreg, "/", `textfield field value=""`)
+		link := netsim.NewLink(0)
+		serve(link.B)
+		c, err := client.New(link.A, client.Options{
+			AppType: "editor", User: user, Host: "bench", Registry: wreg,
+			RPCTimeout: 5 * time.Second, Reconnect: rec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+
+	a := newClient("alice", nil)
+	defer a.Close()
+
+	var mu sync.Mutex
+	var cur net.Conn // b's live client-side conn; closing it forces a reconnect
+	resynced := make(chan error, 1)
+	rec := &client.ReconnectOptions{
+		Dial: func() (net.Conn, error) {
+			link := netsim.NewLink(0)
+			serve(link.B)
+			mu.Lock()
+			cur = link.A
+			mu.Unlock()
+			return link.A, nil
+		},
+		BaseDelay: time.Millisecond,
+		MaxDelay:  time.Millisecond,
+		Seed:      1,
+		OnResync:  func(err error) { resynced <- err },
+	}
+	wregB := cosoft.NewRegistry()
+	cosoft.MustBuild(wregB, "/", `textfield field value=""`)
+	linkB := netsim.NewLink(0)
+	serve(linkB.B)
+	cur = linkB.A
+	cb, err := client.New(linkB.A, client.Options{
+		AppType: "editor", User: "bob", Host: "bench", Registry: wregB,
+		RPCTimeout: 5 * time.Second, Reconnect: rec,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cb.Close()
+
+	if err := a.Declare("/field"); err != nil {
+		b.Fatal(err)
+	}
+	if err := cb.Declare("/field"); err != nil {
+		b.Fatal(err)
+	}
+	if err := cb.Couple("/field", a.Ref("/field")); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu.Lock()
+		conn := cur
+		mu.Unlock()
+		conn.Close()
+		if err := <-resynced; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stats := srv.Stats()
+	if stats.Resumes < uint64(b.N) {
+		b.Fatalf("resumes = %d, want >= %d", stats.Resumes, b.N)
+	}
+	writeBenchTrajectory(b, "BenchmarkReconnect", reg, stats)
 }
 
 // gateDisabledTracingAllocs fails the benchmark if any tracing call shape

@@ -18,7 +18,8 @@
 // Usage:
 //
 //	cosoftd [-listen :7817] [-metrics-addr :9090] [-history 32]
-//	        [-ordered-locking] [-trace-buffer 4096] [-flight-depth 64]
+//	        [-ordered-locking] [-heartbeat 5s] [-event-deadline 10s]
+//	        [-outbox-limit 1024] [-trace-buffer 4096] [-flight-depth 64]
 //	        [-log-level info] [-v]
 package main
 
@@ -49,6 +50,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address for the metrics/trace/expvar/pprof endpoints (empty = disabled)")
 	history := flag.Int("history", 0, "per-object historical-state depth (0 = default)")
 	ordered := flag.Bool("ordered-locking", false, "use deterministic-order group locking instead of the paper's sequential algorithm")
+	heartbeat := flag.Duration("heartbeat", 0, "liveness ping interval; silent clients are dropped after 3 intervals (0 = disabled)")
+	eventDeadline := flag.Duration("event-deadline", 0, "max wait for event acknowledgements before the group unlocks without the stragglers (0 = disabled)")
+	outboxLimit := flag.Int("outbox-limit", 0, "per-client outbox high-water mark; clients over it for more than a second are evicted (0 = unbounded)")
 	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceBuffer, "causal-trace span ring size (0 = tracing disabled)")
 	flightDepth := flag.Int("flight-depth", obs.DefaultFlightDepth, "per-connection flight-recorder depth (0 = disabled)")
 	logLevel := flag.String("log-level", "", "structured log level: debug, info, warn or error (empty = logging disabled)")
@@ -59,6 +63,9 @@ func main() {
 	opts := server.Options{
 		HistoryDepth:   *history,
 		OrderedLocking: *ordered,
+		Heartbeat:      *heartbeat,
+		EventDeadline:  *eventDeadline,
+		OutboxLimit:    *outboxLimit,
 		Metrics:        metrics,
 	}
 	if *verbose {

@@ -77,6 +77,9 @@ type (
 	Semantics = client.Semantics
 	// CommandHandler receives application-defined commands (CoSendCommand).
 	CommandHandler = client.CommandHandler
+	// ReconnectOptions enables automatic reconnection with session resume
+	// and state resynchronization (ClientOptions.Reconnect).
+	ReconnectOptions = client.ReconnectOptions
 	// SyncDirection selects the initial state alignment when coupling
 	// complex objects.
 	SyncDirection = client.SyncDirection

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -27,9 +28,10 @@ import (
 
 // Errors reported by client operations.
 var (
-	ErrClosed   = errors.New("client: closed")
-	ErrTimeout  = errors.New("client: request timed out")
-	ErrRejected = errors.New("client: event rejected (group locked)")
+	ErrClosed       = errors.New("client: closed")
+	ErrTimeout      = errors.New("client: request timed out")
+	ErrRejected     = errors.New("client: event rejected (group locked)")
+	ErrDisconnected = errors.New("client: connection lost")
 )
 
 // CommandHandler processes an application-defined command (§3.4): the
@@ -75,6 +77,12 @@ type Options struct {
 	// Metrics receives the client's RPC and re-execution latency
 	// histograms. Nil disables measurement (zero-allocation no-ops).
 	Metrics obs.Sink
+	// Reconnect enables automatic reconnection: when the connection drops,
+	// the client redials with exponential backoff, resumes its session (same
+	// instance ID), re-declares its objects, re-creates its couple links and
+	// pulls the current state of every coupled object. Nil disables
+	// reconnection: a dropped connection permanently fails the client.
+	Reconnect *ReconnectOptions
 	// Tracer records causal spans for this instance's hops: event sends and
 	// remote re-executions. Setting it also opts the connection into the
 	// wire trace extension, so leave it nil when the server may predate the
@@ -90,22 +98,24 @@ type Options struct {
 // Client connects one application instance to the coupling server.
 type Client struct {
 	opts    Options
-	conn    *wire.Conn
 	reg     *widget.Registry
 	checker *compat.Checker
 	id      couple.InstanceID
 
-	mu      sync.Mutex
-	nextSeq uint64
-	waiters map[uint64]chan wire.Envelope
-	links   *couple.Graph
-	cmds    map[string]CommandHandler
-	sem     map[string]Semantics
-	closed  bool
+	mu       sync.Mutex
+	conn     *wire.Conn // current connection; replaced on reconnect
+	nextSeq  uint64
+	waiters  map[uint64]chan wire.Envelope
+	links    *couple.Graph
+	cmds     map[string]CommandHandler
+	sem      map[string]Semantics
+	declared map[string]string // path → class of every declared object (resync source)
+	token    string            // resumable session token; "" without Reconnect
+	closed   bool
 
-	inbox chan wire.Envelope
+	inq   *inqueue
 	done  chan struct{}
-	rdone chan struct{} // closed when readLoop exits
+	rdone chan struct{} // closed when the read machinery stops for good
 	wg    sync.WaitGroup
 
 	// Metric handles (nil-safe no-ops when Options.Metrics is nil).
@@ -127,21 +137,22 @@ func New(conn net.Conn, opts Options) (*Client, error) {
 	}
 	metrics := obs.Or(opts.Metrics)
 	c := &Client{
-		opts:    opts,
-		conn:    wire.NewConn(conn),
-		reg:     opts.Registry,
-		checker: compat.NewChecker(opts.Registry.Classes(), opts.Correspondences),
-		waiters: make(map[uint64]chan wire.Envelope),
-		links:   couple.NewGraph(),
-		cmds:    make(map[string]CommandHandler),
-		sem:     make(map[string]Semantics),
-		inbox:   make(chan wire.Envelope, 256),
-		done:    make(chan struct{}),
-		rdone:   make(chan struct{}),
-		mRPC:    metrics.Histogram("client.rpc_ns"),
-		mExec:   metrics.Histogram("client.exec_ns"),
-		tr:      opts.Tracer,
-		slog:    obs.LoggerOr(opts.Logger).With("component", "client"),
+		opts:     opts,
+		conn:     wire.NewConn(conn),
+		reg:      opts.Registry,
+		checker:  compat.NewChecker(opts.Registry.Classes(), opts.Correspondences),
+		waiters:  make(map[uint64]chan wire.Envelope),
+		links:    couple.NewGraph(),
+		cmds:     make(map[string]CommandHandler),
+		sem:      make(map[string]Semantics),
+		declared: make(map[string]string),
+		inq:      newInqueue(),
+		done:     make(chan struct{}),
+		rdone:    make(chan struct{}),
+		mRPC:     metrics.Histogram("client.rpc_ns"),
+		mExec:    metrics.Histogram("client.exec_ns"),
+		tr:       opts.Tracer,
+		slog:     obs.LoggerOr(opts.Logger).With("component", "client"),
 	}
 	if opts.Tracer != nil {
 		// We are the connection initiator, so we opt into the wire trace
@@ -182,12 +193,44 @@ func New(conn net.Conn, opts Options) (*Client, error) {
 		if err := c.callOK(wire.Retract{Path: w.Path()}); err != nil && !errors.Is(err, ErrClosed) {
 			c.logf("client %s: retract %s: %v", c.id, w.Path(), err)
 		}
+		c.mu.Lock()
+		delete(c.declared, w.Path())
+		c.mu.Unlock()
 	})
 
 	c.wg.Add(2)
-	go c.readLoop()
+	go c.supervise()
 	go c.dispatchLoop()
+
+	if opts.Reconnect != nil {
+		// Mint the resumable session token up front so it is in hand before
+		// any disconnect. Only reconnect-enabled clients pay the extra RPC.
+		tok, err := c.sessionToken()
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("client: session token: %w", err)
+		}
+		c.mu.Lock()
+		c.token = tok
+		c.mu.Unlock()
+	}
 	return c, nil
+}
+
+// sessionToken asks the server for a resumable session token.
+func (c *Client) sessionToken() (string, error) {
+	env, err := c.call(wire.SessionToken{})
+	if err != nil {
+		return "", err
+	}
+	switch m := env.Msg.(type) {
+	case wire.SessionToken:
+		return m.Token, nil
+	case wire.Err:
+		return "", errors.New(m.Text)
+	default:
+		return "", fmt.Errorf("client: unexpected reply %s", env.Msg.MsgType())
+	}
 }
 
 // ID returns the server-assigned application instance identifier.
@@ -215,6 +258,7 @@ func (c *Client) Close() {
 		return
 	}
 	c.closed = true
+	conn := c.conn
 	// The Deregister carries a real sequence number with a registered
 	// waiter, so the server's OK reply is routed here instead of surfacing
 	// in dispatchLoop as an "unexpected server message". (A Seq of 0 would
@@ -227,7 +271,7 @@ func (c *Client) Close() {
 	// Best effort orderly exit; the server also handles abrupt closes. The
 	// wait is bounded: a dead or unresponsive server ends it via readLoop
 	// exit or the RPC timeout.
-	if err := c.conn.Write(wire.Envelope{Seq: seq, Msg: wire.Deregister{}}); err == nil {
+	if err := conn.Write(wire.Envelope{Seq: seq, Msg: wire.Deregister{}}); err == nil {
 		timer := time.NewTimer(c.opts.RPCTimeout)
 		select {
 		case <-ack:
@@ -238,7 +282,7 @@ func (c *Client) Close() {
 	}
 	c.dropWaiter(seq)
 	close(c.done)
-	c.conn.Close()
+	conn.Close()
 	c.reg.OnEvent(nil)
 	c.reg.OnDestroy(nil)
 	c.wg.Wait()
@@ -271,7 +315,7 @@ func (c *Client) callCtx(msg wire.Message, tc obs.TraceContext) (wire.Envelope, 
 	c.mu.Unlock()
 
 	t0 := c.mRPC.Start()
-	if err := c.conn.Write(wire.Envelope{Seq: seq, Trace: tc, Msg: msg}); err != nil {
+	if err := c.send(wire.Envelope{Seq: seq, Trace: tc, Msg: msg}); err != nil {
 		c.dropWaiter(seq)
 		return wire.Envelope{}, fmt.Errorf("client: send %s: %w", msg.MsgType(), err)
 	}
@@ -280,7 +324,13 @@ func (c *Client) callCtx(msg wire.Message, tc obs.TraceContext) (wire.Envelope, 
 	select {
 	case env, ok := <-ch:
 		if !ok {
-			return wire.Envelope{}, ErrClosed
+			// The waiter was failed: either the client closed or the
+			// connection dropped mid-request (the reply is gone for good —
+			// requests do not survive a reconnect).
+			if c.isClosed() {
+				return wire.Envelope{}, ErrClosed
+			}
+			return wire.Envelope{}, fmt.Errorf("%w: %s", ErrDisconnected, msg.MsgType())
 		}
 		c.mRPC.ObserveSince(t0)
 		return env, nil
@@ -315,14 +365,73 @@ func (c *Client) dropWaiter(seq uint64) {
 	c.mu.Unlock()
 }
 
-// readLoop routes replies to waiters and server-initiated traffic to the
-// dispatch loop.
-func (c *Client) readLoop() {
+// isClosed reports whether Close has started.
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// send writes one envelope on the current connection.
+func (c *Client) send(env wire.Envelope) error {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	return conn.Write(env)
+}
+
+// failWaiters fails every outstanding request: their replies died with the
+// connection and will never arrive, even if a reconnect succeeds.
+func (c *Client) failWaiters() {
+	c.mu.Lock()
+	for seq, ch := range c.waiters {
+		close(ch)
+		delete(c.waiters, seq)
+	}
+	c.mu.Unlock()
+}
+
+// supervise owns the connection lifecycle: it runs the read loop for the
+// current connection and, when reconnection is configured, replaces a dead
+// connection and resynchronizes; otherwise the first connection loss is
+// final.
+func (c *Client) supervise() {
 	defer c.wg.Done()
-	defer close(c.inbox)
+	defer c.inq.close()
 	defer close(c.rdone)
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
 	for {
-		env, err := c.conn.Read()
+		c.readConn(conn)
+		c.failWaiters()
+		if c.isClosed() || c.opts.Reconnect == nil {
+			return
+		}
+		c.slog.Warn("connection lost, reconnecting")
+		next, err := c.redial()
+		if err != nil {
+			c.logf("client %s: reconnect: %v", c.id, err)
+			c.slog.Error("reconnect failed", "error", err.Error())
+			return
+		}
+		c.mu.Lock()
+		c.conn = next
+		c.mu.Unlock()
+		conn = next
+		// Resync runs concurrently with the resumed read loop: its RPCs need
+		// the loop to route replies. Safe to Add here: supervise itself holds
+		// the WaitGroup above zero.
+		c.wg.Add(1)
+		go c.resync()
+	}
+}
+
+// readConn routes replies to waiters and server-initiated traffic to the
+// dispatch queue, until conn fails.
+func (c *Client) readConn(conn *wire.Conn) {
+	for {
+		env, err := conn.Read()
 		if err != nil {
 			return
 		}
@@ -338,10 +447,18 @@ func (c *Client) readLoop() {
 			}
 			continue
 		}
+		switch m := env.Msg.(type) {
+		case wire.Ping:
+			// Answer liveness probes from the read loop: a slow application
+			// callback in the dispatch queue must not make a healthy client
+			// look dead.
+			if err := conn.Write(wire.Envelope{Msg: wire.Pong{Nonce: m.Nonce}}); err != nil {
+				return
+			}
+			continue
 		// Coupling information is mirrored synchronously so that a Couple
 		// call observes its own link as soon as the server confirmed it
 		// (the LinkAdded precedes the OK on the same connection).
-		switch m := env.Msg.(type) {
 		case wire.LinkAdded:
 			if err := c.links.AddLink(m.Link); err != nil {
 				c.logf("client %s: mirror link: %v", c.id, err)
@@ -351,20 +468,22 @@ func (c *Client) readLoop() {
 			c.links.RemoveLink(m.Link.From, m.Link.To)
 			continue
 		}
-		select {
-		case c.inbox <- env:
-		case <-c.done:
+		if !c.inq.push(env) {
 			return
 		}
 	}
 }
 
 // dispatchLoop is the instance's UI thread for server-initiated work: remote
-// event re-execution, state application, lock toggling, coupling-info
-// mirroring, state requests and command delivery.
+// event re-execution, state application, lock toggling, state requests and
+// command delivery.
 func (c *Client) dispatchLoop() {
 	defer c.wg.Done()
-	for env := range c.inbox {
+	for {
+		env, ok := c.inq.pop()
+		if !ok {
+			return
+		}
 		switch m := env.Msg.(type) {
 		case wire.Exec:
 			c.handleExec(env.Trace, m)
@@ -383,7 +502,9 @@ func (c *Client) dispatchLoop() {
 			h := c.cmds[m.Name]
 			c.mu.Unlock()
 			if h != nil {
-				h(m.From, m.Payload)
+				c.guard("command handler "+m.Name, env.Trace.Trace, func() {
+					h(m.From, m.Payload)
+				})
 			} else {
 				c.logf("client %s: no handler for command %q", c.id, m.Name)
 			}
@@ -391,6 +512,77 @@ func (c *Client) dispatchLoop() {
 			c.logf("client %s: unexpected server message %s", c.id, env.Msg.MsgType())
 		}
 	}
+}
+
+// guard runs an application callback, converting a panic into a logged
+// error so one faulty handler cannot kill the dispatch loop (or lose the
+// protocol acknowledgement its caller still owes the server). It reports
+// whether fn completed without panicking.
+func (c *Client) guard(what string, trace obs.TraceID, fn func()) (completed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.logf("client %s: panic in %s: %v", c.id, what, r)
+			c.slog.Error("panic in application callback",
+				"callback", what, "panic", fmt.Sprint(r), "trace", trace,
+				"stack", string(debug.Stack()))
+		}
+	}()
+	fn()
+	return true
+}
+
+// inqueue is the unbounded FIFO between the read loop and the dispatch
+// loop. It must not apply back-pressure: a blocked push for envelope N
+// would also block reading envelope N+1, which may be the RPC reply a
+// dispatch-side handler is waiting on — a deadlock, not a slowdown. Memory
+// is the accepted cost; the server's outbox limit bounds it from the other
+// side by evicting clients that stop draining.
+type inqueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []wire.Envelope
+	closed bool
+}
+
+func newInqueue() *inqueue {
+	q := &inqueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends one envelope; it reports false once the queue is closed.
+func (q *inqueue) push(env wire.Envelope) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.q = append(q.q, env)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks for the next envelope; ok is false once the queue is closed
+// and drained.
+func (q *inqueue) pop() (env wire.Envelope, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.q) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.q) == 0 {
+		return wire.Envelope{}, false
+	}
+	env = q.q[0]
+	q.q = q.q[1:]
+	return env, true
+}
+
+func (q *inqueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 // Coupled reports whether the local object currently participates in a

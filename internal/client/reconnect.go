@@ -1,0 +1,213 @@
+package client
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sort"
+	"time"
+
+	"cosoft/internal/wire"
+)
+
+// ReconnectOptions configures automatic reconnection (Options.Reconnect).
+type ReconnectOptions struct {
+	// Dial establishes a replacement connection to the server. Required.
+	Dial func() (net.Conn, error)
+	// MaxAttempts bounds consecutive failed attempts before the client
+	// gives up for good (0 = 8). A refused resume (unknown session token)
+	// is permanent and stops immediately.
+	MaxAttempts int
+	// BaseDelay is the first backoff delay (0 = 50ms). Delays double per
+	// failed attempt up to MaxDelay (0 = 2s), each stretched by a uniform
+	// jitter in [0, delay/2).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the jitter PRNG so tests replay deterministically.
+	Seed uint64
+	// OnResync, if set, is called after each successful reconnect once
+	// re-declaration, re-coupling and state pull have finished, with the
+	// first error encountered (nil on a clean resync).
+	OnResync func(err error)
+}
+
+// permanentError marks reconnect failures that retrying cannot fix.
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return e.msg }
+
+func (r *ReconnectOptions) maxAttempts() int {
+	if r.MaxAttempts > 0 {
+		return r.MaxAttempts
+	}
+	return 8
+}
+
+func (r *ReconnectOptions) baseDelay() time.Duration {
+	if r.BaseDelay > 0 {
+		return r.BaseDelay
+	}
+	return 50 * time.Millisecond
+}
+
+func (r *ReconnectOptions) maxDelay() time.Duration {
+	if r.MaxDelay > 0 {
+		return r.MaxDelay
+	}
+	return 2 * time.Second
+}
+
+// redial dials and resumes the session with exponential backoff. It runs on
+// the supervise goroutine.
+func (c *Client) redial() (*wire.Conn, error) {
+	r := c.opts.Reconnect
+	rng := rand.New(rand.NewPCG(r.Seed, r.Seed^0x9e3779b97f4a7c15))
+	delay := r.baseDelay()
+	var lastErr error
+	for attempt := 0; attempt < r.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			d := delay + time.Duration(rng.Int64N(int64(delay/2)+1))
+			select {
+			case <-time.After(d):
+			case <-c.done:
+				return nil, ErrClosed
+			}
+			if delay *= 2; delay > r.maxDelay() {
+				delay = r.maxDelay()
+			}
+		}
+		raw, err := r.Dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		conn, err := c.resume(raw)
+		if err == nil {
+			return conn, nil
+		}
+		if pe, ok := err.(*permanentError); ok {
+			return nil, pe
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("client: reconnect gave up after %d attempts: %w",
+		r.maxAttempts(), lastErr)
+}
+
+// resume performs the Resume handshake on a fresh connection, reclaiming
+// the client's instance ID. The reply wait cannot rely on connection
+// deadlines (in-process transports lack them), so it reads on a goroutine
+// and closes the connection to abandon it.
+func (c *Client) resume(raw net.Conn) (*wire.Conn, error) {
+	conn := wire.NewConn(raw)
+	if c.tr != nil {
+		conn.EnableTrace()
+	}
+	c.mu.Lock()
+	tok := c.token
+	c.mu.Unlock()
+	if err := conn.Write(wire.Envelope{Seq: 1, Msg: wire.Resume{Token: tok}}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	type result struct {
+		env wire.Envelope
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		env, err := conn.Read()
+		ch <- result{env, err}
+	}()
+	timer := time.NewTimer(c.opts.RPCTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			conn.Close()
+			return nil, r.err
+		}
+		switch m := r.env.Msg.(type) {
+		case wire.Registered:
+			if m.ID != c.id {
+				conn.Close()
+				return nil, &permanentError{fmt.Sprintf(
+					"client: resume returned foreign ID %s (have %s)", m.ID, c.id)}
+			}
+			return conn, nil
+		case wire.Err:
+			conn.Close()
+			return nil, &permanentError{"client: resume refused: " + m.Text}
+		default:
+			conn.Close()
+			return nil, fmt.Errorf("client: unexpected resume reply %s", r.env.Msg.MsgType())
+		}
+	case <-timer.C:
+		conn.Close()
+		return nil, fmt.Errorf("%w: resume handshake", ErrTimeout)
+	case <-c.done:
+		conn.Close()
+		return nil, ErrClosed
+	}
+}
+
+// resync restores the server's view of this instance after a resume: the
+// disconnect cost the server every declaration and couple link of the old
+// incarnation, while the local mirror kept them. Declarations are replayed,
+// links touching this instance are re-created (idempotent at the server's
+// mirrors), and every re-coupled object pulls a peer's current state via the
+// CopyFrom path, so local state converges with whatever the group did while
+// this client was gone.
+func (c *Client) resync() {
+	defer c.wg.Done()
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	c.mu.Lock()
+	paths := make([]string, 0, len(c.declared))
+	classes := make(map[string]string, len(c.declared))
+	for p, class := range c.declared {
+		paths = append(paths, p)
+		classes[p] = class
+	}
+	c.mu.Unlock()
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := c.callOK(wire.Declare{Path: p, Class: classes[p]}); err != nil {
+			fail(fmt.Errorf("re-declare %s: %w", p, err))
+		}
+	}
+	for _, l := range c.links.Links() {
+		if l.From.Instance != c.id && l.To.Instance != c.id {
+			continue
+		}
+		if err := c.callOK(wire.Couple{From: l.From, To: l.To}); err != nil {
+			fail(fmt.Errorf("re-couple %s -> %s: %w", l.From, l.To, err))
+		}
+	}
+	for _, p := range paths {
+		for _, peer := range c.links.CO(c.Ref(p)) {
+			if peer.Instance == c.id {
+				continue
+			}
+			if err := c.callOK(wire.CopyFrom{From: peer, ToPath: p}); err != nil {
+				fail(fmt.Errorf("state pull for %s: %w", p, err))
+			}
+			break
+		}
+	}
+
+	if firstErr != nil {
+		c.logf("client %s: resync: %v", c.id, firstErr)
+		c.slog.Warn("resync incomplete", "error", firstErr.Error())
+	} else {
+		c.slog.Info("resynchronized after reconnect", "objects", len(paths))
+	}
+	if h := c.opts.Reconnect.OnResync; h != nil {
+		c.guard("resync callback", 0, func() { h(firstErr) })
+	}
+}

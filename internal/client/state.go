@@ -37,7 +37,11 @@ func (c *Client) attachSemantics(ts *widget.TreeState, path string) {
 	s, ok := c.sem[path]
 	c.mu.Unlock()
 	if ok && s.Store != nil {
-		payload, err := s.Store()
+		var payload []byte
+		var err error
+		if !c.guard("semantic store "+path, 0, func() { payload, err = s.Store() }) {
+			err = errors.New("store hook panicked")
+		}
 		if err != nil {
 			c.logf("client %s: semantic store for %s: %v", c.id, path, err)
 		} else {
@@ -58,7 +62,11 @@ func (c *Client) stripSemantics(ts *widget.TreeState, path string) {
 		s, ok := c.sem[path]
 		c.mu.Unlock()
 		if ok && s.Load != nil {
-			if err := s.Load([]byte(v.AsString())); err != nil {
+			var err error
+			if !c.guard("semantic load "+path, 0, func() { err = s.Load([]byte(v.AsString())) }) {
+				err = errors.New("load hook panicked")
+			}
+			if err != nil {
 				c.logf("client %s: semantic load for %s: %v", c.id, path, err)
 			}
 		}
@@ -78,7 +86,7 @@ func (c *Client) handleStateRequest(m wire.StateRequest) {
 		reply.OK = true
 		reply.State = ts
 	}
-	if err := c.conn.Write(wire.Envelope{Msg: reply}); err != nil {
+	if err := c.send(wire.Envelope{Msg: reply}); err != nil {
 		c.logf("client %s: state reply: %v", c.id, err)
 	}
 }
@@ -110,7 +118,9 @@ func (c *Client) handleApplyState(m wire.ApplyState) {
 	}
 	c.markOrigin(m.Path, m.Origin)
 	if c.opts.OnStateApplied != nil {
-		c.opts.OnStateApplied(m.Path, m.Origin)
+		c.guard("state-applied callback", 0, func() {
+			c.opts.OnStateApplied(m.Path, m.Origin)
+		})
 	}
 }
 
@@ -120,14 +130,26 @@ func (c *Client) Declare(path string) error {
 	if err != nil {
 		return err
 	}
-	return c.callOK(wire.Declare{Path: path, Class: w.Class().Name})
+	return c.declare(path, w.Class().Name)
 }
 
 // DeclareTree announces a widget and all its descendants as couplable.
 func (c *Client) DeclareTree(path string) error {
 	return c.reg.Walk(path, func(w *widget.Widget) error {
-		return c.callOK(wire.Declare{Path: w.Path(), Class: w.Class().Name})
+		return c.declare(w.Path(), w.Class().Name)
 	})
+}
+
+// declare sends the declaration and records it for replay after a
+// reconnect.
+func (c *Client) declare(path, class string) error {
+	if err := c.callOK(wire.Declare{Path: path, Class: class}); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.declared[path] = class
+	c.mu.Unlock()
+	return nil
 }
 
 // CopyTo pushes the relevant state of a local object onto a remote object —

@@ -129,24 +129,29 @@ func (c *Client) handleExec(tc obs.TraceContext, m wire.Exec) {
 		Args:   m.Args,
 		Remote: true,
 	}
-	if _, err := c.reg.Deliver(e); err != nil {
-		// The object may be mid-destruction or the classes may disagree on
-		// arguments; the event is acknowledged regardless so the group
-		// unlocks.
-		if !errors.Is(err, widget.ErrNotFound) {
-			c.logf("client %s: exec %s: %v", c.id, e, err)
-			c.slog.Warn("exec failed",
-				"path", m.TargetPath, "event", m.Name, "error", err.Error(),
-				"trace", tc.Trace)
+	// The re-execution (which runs application callbacks) is guarded: a
+	// panicking handler must not take down the dispatch loop, and the
+	// ExecAck below must go out either way so the group unlocks.
+	c.guard("remote event "+m.Name, tc.Trace, func() {
+		if _, err := c.reg.Deliver(e); err != nil {
+			// The object may be mid-destruction or the classes may disagree on
+			// arguments; the event is acknowledged regardless so the group
+			// unlocks.
+			if !errors.Is(err, widget.ErrNotFound) {
+				c.logf("client %s: exec %s: %v", c.id, e, err)
+				c.slog.Warn("exec failed",
+					"path", m.TargetPath, "event", m.Name, "error", err.Error(),
+					"trace", tc.Trace)
+			}
+			sp.SetNote("error")
+		} else {
+			c.markOrigin(e.Path, m.Origin.Instance)
+			if c.opts.OnRemoteEvent != nil {
+				c.opts.OnRemoteEvent(e)
+			}
 		}
-		sp.SetNote("error")
-	} else {
-		c.markOrigin(e.Path, m.Origin.Instance)
-		if c.opts.OnRemoteEvent != nil {
-			c.opts.OnRemoteEvent(e)
-		}
-	}
-	if err := c.conn.Write(wire.Envelope{Trace: sp.Context(), Msg: wire.ExecAck{EventID: m.EventID}}); err != nil {
+	})
+	if err := c.send(wire.Envelope{Trace: sp.Context(), Msg: wire.ExecAck{EventID: m.EventID}}); err != nil {
 		c.logf("client %s: exec ack: %v", c.id, err)
 	}
 	sp.End()

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"sort"
+	"strings"
 	"time"
 
 	"cosoft/internal/couple"
@@ -27,6 +29,9 @@ type pendingEvent struct {
 	// unlock spans recorded when the round trip completes (zero when the
 	// event was not traced).
 	tc obs.TraceContext
+	// timer fires the event deadline (nil when deadlines are disabled). It
+	// is stopped when the event resolves normally.
+	timer *time.Timer
 }
 
 // handleEvent implements the multiple-execution algorithm of §3.2. The
@@ -126,6 +131,34 @@ func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event, tc obs.TraceC
 		return
 	}
 	s.pendingEvents[eventID] = pe
+	if d := s.opts.EventDeadline; d > 0 {
+		// AfterFunc posts back to the state loop; post refuses after Close,
+		// so a late firing is harmless.
+		pe.timer = time.AfterFunc(d, func() {
+			s.post(func() { s.timeoutEvent(eventID) })
+		})
+	}
+}
+
+// timeoutEvent resolves an event whose deadline expired before every member
+// acknowledged: the stragglers are dropped from the wait set and the group
+// unlocks, so one hung member cannot wedge the whole coupling group.
+func (s *Server) timeoutEvent(id uint64) {
+	pe, ok := s.pendingEvents[id]
+	if !ok {
+		return // resolved in the meantime
+	}
+	stragglers := make([]string, 0, len(pe.waiting))
+	for inst := range pe.waiting {
+		stragglers = append(stragglers, string(inst))
+	}
+	sort.Strings(stragglers)
+	s.mEventTOs.Inc()
+	s.tr.Point(pe.tc, "server.event_timeout", "server", strings.Join(stragglers, " "))
+	s.slog.Warn("event deadline expired",
+		"event_id", id, "origin", string(pe.origin), "path", pe.source.Path,
+		"stragglers", strings.Join(stragglers, " "), "trace", pe.tc.Trace)
+	s.finishEvent(id, pe)
 }
 
 // handleExecAck records one member instance's completion of an Exec. tc is
@@ -151,6 +184,9 @@ func (s *Server) handleExecAck(cl *client, m wire.ExecAck, tc obs.TraceContext) 
 
 func (s *Server) finishEvent(id uint64, pe *pendingEvent) {
 	delete(s.pendingEvents, id)
+	if pe.timer != nil {
+		pe.timer.Stop()
+	}
 	s.unlockEvent(pe)
 }
 

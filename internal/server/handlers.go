@@ -54,6 +54,13 @@ func (s *Server) handle(cl *client, env wire.Envelope) {
 	case wire.RevokePerm:
 		s.perms.Revoke(perm.Rule{User: m.User, State: m.State, Right: perm.Right(m.Right)})
 		s.reply(cl, env.Seq, nil)
+	case wire.Ping:
+		// Client-initiated probe: answer so it can measure liveness too.
+		cl.out.send(wire.Envelope{RefSeq: env.Seq, Msg: wire.Pong{Nonce: m.Nonce}})
+	case wire.Pong:
+		// Liveness reply; lastSeen was already refreshed on arrival.
+	case wire.SessionToken:
+		s.handleSessionToken(cl, env.Seq)
 	default:
 		s.reply(cl, env.Seq, fmt.Errorf("server: unexpected message %s", env.Msg.MsgType()))
 	}
@@ -251,12 +258,33 @@ func (s *Server) handleListInstances(cl *client, seq uint64) {
 	cl.out.send(wire.Envelope{RefSeq: seq, Msg: list})
 }
 
+// handleSessionToken mints a resumable session token bound to cl's
+// registration record and sends it back. A reconnecting client presents the
+// token in a Resume handshake to reclaim the same instance ID.
+func (s *Server) handleSessionToken(cl *client, seq uint64) {
+	rec, err := s.reg.Lookup(cl.id)
+	if err != nil {
+		s.reply(cl, seq, err)
+		return
+	}
+	tok, err := mintToken()
+	if err != nil {
+		s.reply(cl, seq, err)
+		return
+	}
+	s.sessions[tok] = sessionRec{id: rec.ID, appType: rec.AppType, host: rec.Host, user: rec.User}
+	cl.out.send(wire.Envelope{RefSeq: seq, Msg: wire.SessionToken{Token: tok}})
+}
+
 // dropClient removes a disconnected or deregistering instance: its couple
 // links are removed (the automatic decoupling of §3.2), its locks are
 // released, pending work is resolved, and its records are dropped.
 func (s *Server) dropClient(cl *client, reason string) {
-	if _, ok := s.clients[cl.id]; !ok {
-		return // already dropped
+	// Identity check, not just key presence: after a Resume takeover the
+	// instance ID maps to the NEW client, and the superseded connection's
+	// deferred drop must not tear that one down.
+	if cur, ok := s.clients[cl.id]; !ok || cur != cl {
+		return // already dropped or superseded
 	}
 	s.logf("server: %s leaving (%s)", cl.id, reason)
 	s.slog.Info("instance leaving", "inst", string(cl.id), "reason", reason)

@@ -11,6 +11,8 @@
 package server
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -43,6 +45,28 @@ type Options struct {
 	// OrderedLocking selects the deterministic-order group-locking variant
 	// instead of the paper's sequential algorithm (ablation switch).
 	OrderedLocking bool
+	// Heartbeat is the liveness probe interval: the server pings every
+	// connection this often and declares an instance dead after
+	// LivenessTimeout of silence (its locks are released and its pending
+	// events resolved, so coupling groups never wedge on a vanished peer).
+	// Zero disables liveness tracking.
+	Heartbeat time.Duration
+	// LivenessTimeout is the silence span after which a connection is
+	// declared dead. Zero selects 3×Heartbeat.
+	LivenessTimeout time.Duration
+	// EventDeadline bounds how long a broadcast event may wait for Exec
+	// acknowledgements. On expiry the remaining waiters are dropped from
+	// the wait set and the group unlocks (counter server.event_timeouts,
+	// span server.event_timeout). Zero disables event deadlines.
+	EventDeadline time.Duration
+	// OutboxLimit is the per-client outbox high-water mark: a client whose
+	// backlog stays above it for OutboxGrace is evicted (counter
+	// server.evictions) instead of stalling group broadcasts. Zero keeps
+	// outboxes unbounded.
+	OutboxLimit int
+	// OutboxGrace is how long a backlog may exceed OutboxLimit before the
+	// client is evicted. Zero selects one second.
+	OutboxGrace time.Duration
 	// Metrics receives the server's counters, gauges and latency
 	// histograms. Nil means a private enabled registry (so Stats keeps
 	// working); pass obs.Disabled to remove all measurement cost.
@@ -83,8 +107,10 @@ type Server struct {
 	clients       map[couple.InstanceID]*client
 	pendingEvents map[uint64]*pendingEvent
 	pendingFetch  map[uint64]*fetch
+	sessions      map[string]sessionRec
 	nextEventID   uint64
 	nextFetchID   uint64
+	nextPing      uint64
 
 	// Metric handles resolved from Options.Metrics at construction (nil
 	// handles under obs.Disabled; every method is a nil-safe no-op).
@@ -98,6 +124,10 @@ type Server struct {
 	mClients      *obs.Gauge     // server.clients: connected instances
 	mLockAttempts *obs.Counter   // lock.group_attempts (shared with the lock table)
 	mLockUndone   *obs.Counter   // lock.undo_locked (shared with the lock table)
+	mEventTOs     *obs.Counter   // server.event_timeouts: events resolved by deadline
+	mEvictions    *obs.Counter   // server.evictions: clients dropped for backlog
+	mLivenessTOs  *obs.Counter   // server.liveness_timeouts: clients declared dead
+	mResumes      *obs.Counter   // server.resumes: sessions reclaimed by token
 
 	closeOnce sync.Once
 }
@@ -132,6 +162,20 @@ type Stats struct {
 	// locks rolled back by the undo-locking algorithm on contention.
 	LockAttempts uint64
 	LockUndone   uint64
+	// EventTimeouts counts events resolved by the event deadline instead of
+	// a full acknowledgement set.
+	EventTimeouts uint64
+	// Evictions counts clients dropped because their outbox stayed over
+	// OutboxLimit for longer than OutboxGrace.
+	Evictions uint64
+	// LivenessTimeouts counts clients declared dead by the heartbeat
+	// deadline.
+	LivenessTimeouts uint64
+	// Resumes counts reconnections that reclaimed a session by token.
+	Resumes uint64
+	// PendingEvents is the number of broadcast events still awaiting Exec
+	// acknowledgements (should return to zero at quiescence).
+	PendingEvents int
 }
 
 // client is the server-side view of one connected instance.
@@ -143,6 +187,18 @@ type client struct {
 	// name keys this connection in the flight recorder; it is the remote
 	// address until registration assigns the instance ID.
 	name string
+	// lastSeen is when the last message arrived on this connection
+	// (loop-owned; drives the liveness deadline).
+	lastSeen time.Time
+}
+
+// sessionRec is the durable half of a registration: enough to re-register
+// a reconnecting client under its original instance ID.
+type sessionRec struct {
+	id      couple.InstanceID
+	appType string
+	host    string
+	user    string
 }
 
 // New returns a started server. Call Close to stop it.
@@ -175,6 +231,7 @@ func New(opts Options) *Server {
 		clients:       make(map[couple.InstanceID]*client),
 		pendingEvents: make(map[uint64]*pendingEvent),
 		pendingFetch:  make(map[uint64]*fetch),
+		sessions:      make(map[string]sessionRec),
 
 		mEvents:       metrics.Counter("server.events"),
 		mLockFails:    metrics.Counter("server.lock_failures"),
@@ -186,11 +243,19 @@ func New(opts Options) *Server {
 		mClients:      metrics.Gauge("server.clients"),
 		mLockAttempts: metrics.Counter("lock.group_attempts"),
 		mLockUndone:   metrics.Counter("lock.undo_locked"),
+		mEventTOs:     metrics.Counter("server.event_timeouts"),
+		mEvictions:    metrics.Counter("server.evictions"),
+		mLivenessTOs:  metrics.Counter("server.liveness_timeouts"),
+		mResumes:      metrics.Counter("server.resumes"),
 	}
 	s.locks.Instrument(s.mLockAttempts, metrics.Counter("lock.group_failures"), s.mLockUndone)
 	s.locks.TraceWith(opts.Tracer)
 	s.wg.Add(1)
 	go s.loop()
+	if period := s.sweepPeriod(); period > 0 {
+		s.wg.Add(1)
+		go s.sweeper(period)
+	}
 	return s
 }
 
@@ -287,18 +352,23 @@ func (s *Server) Stats() Stats {
 	result := make(chan Stats, 1)
 	if !s.post(func() {
 		result <- Stats{
-			Events:          s.mEvents.Value(),
-			LockFailures:    s.mLockFails.Value(),
-			ExecsSent:       s.mExecsSent.Value(),
-			Copies:          s.mCopies.Value(),
-			Instances:       s.reg.Len(),
-			Links:           s.graph.Len(),
-			EventRTT:        s.mEventRTT.Summary(),
-			Fanout:          s.mFanout.Summary(),
-			OutboxDepth:     s.mOutboxDepth.Value(),
-			OutboxHighWater: s.mOutboxDepth.HighWater(),
-			LockAttempts:    s.mLockAttempts.Value(),
-			LockUndone:      s.mLockUndone.Value(),
+			Events:           s.mEvents.Value(),
+			LockFailures:     s.mLockFails.Value(),
+			ExecsSent:        s.mExecsSent.Value(),
+			Copies:           s.mCopies.Value(),
+			Instances:        s.reg.Len(),
+			Links:            s.graph.Len(),
+			EventRTT:         s.mEventRTT.Summary(),
+			Fanout:           s.mFanout.Summary(),
+			OutboxDepth:      s.mOutboxDepth.Value(),
+			OutboxHighWater:  s.mOutboxDepth.HighWater(),
+			LockAttempts:     s.mLockAttempts.Value(),
+			LockUndone:       s.mLockUndone.Value(),
+			EventTimeouts:    s.mEventTOs.Value(),
+			Evictions:        s.mEvictions.Value(),
+			LivenessTimeouts: s.mLivenessTOs.Value(),
+			Resumes:          s.mResumes.Value(),
+			PendingEvents:    len(s.pendingEvents),
 		}
 	}) {
 		return Stats{}
@@ -311,51 +381,34 @@ func (s *Server) Stats() Stats {
 func (s *Server) Permissions() *perm.Table { return s.perms }
 
 // handleConn runs the read loop for one connection: the first message must
-// be Register; afterwards messages are posted to the state loop.
+// be Register (fresh instance) or Resume (reconnection presenting a session
+// token); afterwards messages are posted to the state loop.
 func (s *Server) handleConn(c *wire.Conn) {
 	env, err := c.Read()
 	if err != nil {
 		c.Close()
 		return
 	}
-	reg, ok := env.Msg.(wire.Register)
-	if !ok {
-		_ = c.Write(wire.Envelope{RefSeq: env.Seq, Msg: wire.Err{Text: "server: first message must be Register"}})
-		c.Close()
-		return
-	}
 	cl := &client{
-		user: reg.User,
 		conn: c,
 		name: c.RemoteAddr().String(),
 	}
-	cl.out = newOutbox(c, s.mOutboxDepth, s.outboxRecorder(cl))
-	registered := make(chan bool, 1)
-	if !s.post(func() {
-		cl.id = s.reg.NewID(reg.AppType)
-		rec := registry.Record{ID: cl.id, AppType: reg.AppType, Host: reg.Host, User: reg.User}
-		if err := s.reg.Register(rec); err != nil {
-			registered <- false
-			return
-		}
-		s.clients[cl.id] = cl
-		s.mClients.Add(1)
-		cl.name = string(cl.id)
-		s.recordFlight(cl, "recv", env)
-		cl.out.send(wire.Envelope{RefSeq: env.Seq, Msg: wire.Registered{ID: cl.id}})
-		registered <- true
-	}) {
+	cl.out = newOutbox(c, s.mOutboxDepth, s.opts.OutboxLimit, s.outboxRecorder(cl))
+	var joinErr string
+	switch m := env.Msg.(type) {
+	case wire.Register:
+		joinErr = s.admitRegister(cl, env, m)
+	case wire.Resume:
+		joinErr = s.admitResume(cl, env, m)
+	default:
+		joinErr = "server: first message must be Register or Resume"
+	}
+	if joinErr != "" {
+		_ = c.Write(wire.Envelope{RefSeq: env.Seq, Msg: wire.Err{Text: joinErr}})
+		cl.out.close()
 		c.Close()
 		return
 	}
-	if !<-registered {
-		_ = c.Write(wire.Envelope{RefSeq: env.Seq, Msg: wire.Err{Text: "server: registration failed"}})
-		c.Close()
-		return
-	}
-	s.logf("server: %s registered (user=%s host=%s)", cl.id, reg.User, reg.Host)
-	s.slog.Info("instance registered",
-		"inst", string(cl.id), "user", reg.User, "host", reg.Host, "app", reg.AppType)
 
 	for {
 		env, err := c.Read()
@@ -363,6 +416,7 @@ func (s *Server) handleConn(c *wire.Conn) {
 			break
 		}
 		if !s.post(func() {
+			cl.lastSeen = time.Now()
 			s.recordFlight(cl, "recv", env)
 			s.handle(cl, env)
 		}) {
@@ -373,6 +427,81 @@ func (s *Server) handleConn(c *wire.Conn) {
 	s.post(func() { s.dropClient(cl, "connection closed") })
 	cl.out.close()
 	c.Close()
+}
+
+// admitRegister performs the fresh-registration handshake on the state
+// loop, returning an error text for the client ("" on success).
+func (s *Server) admitRegister(cl *client, env wire.Envelope, reg wire.Register) string {
+	cl.user = reg.User
+	registered := make(chan bool, 1)
+	if !s.post(func() {
+		cl.id = s.reg.NewID(reg.AppType)
+		rec := registry.Record{ID: cl.id, AppType: reg.AppType, Host: reg.Host, User: reg.User}
+		if err := s.reg.Register(rec); err != nil {
+			registered <- false
+			return
+		}
+		s.admit(cl, env)
+		registered <- true
+	}) {
+		return "server: shutting down"
+	}
+	if !<-registered {
+		return "server: registration failed"
+	}
+	s.logf("server: %s registered (user=%s host=%s)", cl.id, reg.User, reg.Host)
+	s.slog.Info("instance registered",
+		"inst", string(cl.id), "user", reg.User, "host", reg.Host, "app", reg.AppType)
+	return ""
+}
+
+// admitResume reclaims a session by token on the state loop: any still-open
+// previous connection for the instance is superseded (dropped exactly as a
+// disconnect would), and the new connection re-registers under the original
+// instance ID. The client is expected to re-declare its objects, re-create
+// its couple links, and resynchronize state afterwards.
+func (s *Server) admitResume(cl *client, env wire.Envelope, m wire.Resume) string {
+	result := make(chan string, 1)
+	if !s.post(func() {
+		sess, ok := s.sessions[m.Token]
+		if !ok {
+			result <- "server: unknown session token"
+			return
+		}
+		if old, connected := s.clients[sess.id]; connected {
+			s.dropClient(old, "superseded by resume")
+			old.conn.Close()
+		}
+		rec := registry.Record{ID: sess.id, AppType: sess.appType, Host: sess.host, User: sess.user}
+		if err := s.reg.Register(rec); err != nil {
+			result <- "server: resume failed: " + err.Error()
+			return
+		}
+		cl.id = sess.id
+		cl.user = sess.user
+		s.mResumes.Inc()
+		s.admit(cl, env)
+		result <- ""
+	}) {
+		return "server: shutting down"
+	}
+	if errText := <-result; errText != "" {
+		return errText
+	}
+	s.logf("server: %s resumed (user=%s)", cl.id, cl.user)
+	s.slog.Info("instance resumed", "inst", string(cl.id), "user", cl.user)
+	return ""
+}
+
+// admit installs a freshly identified client and acknowledges the
+// handshake. It runs on the state loop.
+func (s *Server) admit(cl *client, env wire.Envelope) {
+	s.clients[cl.id] = cl
+	s.mClients.Add(1)
+	cl.name = string(cl.id)
+	cl.lastSeen = time.Now()
+	s.recordFlight(cl, "recv", env)
+	cl.out.send(wire.Envelope{RefSeq: env.Seq, Msg: wire.Registered{ID: cl.id}})
 }
 
 // outboxRecorder returns the outbox send hook that feeds the flight
@@ -438,9 +567,11 @@ func flightNote(m wire.Message) string {
 }
 
 // outbox decouples the state loop from connection back-pressure: the loop
-// enqueues, a writer goroutine drains. The queue is unbounded — the server
-// is the ordering authority and must never block on a slow client, and the
-// simulation runs in one failure domain where memory is the accepted cost.
+// enqueues, a writer goroutine drains. The queue never blocks the sender —
+// the server is the ordering authority and must never stall on a slow
+// client — but when a limit is configured the outbox remembers how long the
+// backlog has stayed above it so the sweeper can evict the client instead
+// of buffering without bound.
 type outbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -449,10 +580,14 @@ type outbox struct {
 	done   chan struct{}
 	depth  *obs.Gauge          // shared across outboxes: total server backlog
 	onSend func(wire.Envelope) // flight-recorder hook; nil when disabled
+	limit  int                 // high-water mark; 0 = unbounded
+	// overSince is when the backlog last rose above limit; zero while at or
+	// under the mark.
+	overSince time.Time
 }
 
-func newOutbox(c *wire.Conn, depth *obs.Gauge, onSend func(wire.Envelope)) *outbox {
-	o := &outbox{done: make(chan struct{}), depth: depth, onSend: onSend}
+func newOutbox(c *wire.Conn, depth *obs.Gauge, limit int, onSend func(wire.Envelope)) *outbox {
+	o := &outbox{done: make(chan struct{}), depth: depth, limit: limit, onSend: onSend}
 	o.cond = sync.NewCond(&o.mu)
 	go func() {
 		defer close(o.done)
@@ -468,6 +603,9 @@ func newOutbox(c *wire.Conn, depth *obs.Gauge, onSend func(wire.Envelope)) *outb
 			env := o.queue[0]
 			o.queue = o.queue[1:]
 			o.depth.Add(-1)
+			if o.limit > 0 && len(o.queue) <= o.limit {
+				o.overSince = time.Time{}
+			}
 			o.mu.Unlock()
 			if err := c.Write(env); err != nil {
 				// Connection broken; drop remaining output.
@@ -488,6 +626,9 @@ func (o *outbox) send(env wire.Envelope) {
 	if !o.closed {
 		o.queue = append(o.queue, env)
 		o.depth.Add(1)
+		if o.limit > 0 && len(o.queue) > o.limit && o.overSince.IsZero() {
+			o.overSince = time.Now()
+		}
 		o.cond.Signal()
 	}
 	o.mu.Unlock()
@@ -496,12 +637,116 @@ func (o *outbox) send(env wire.Envelope) {
 	}
 }
 
+// overLimitSince reports when the backlog rose above the configured limit,
+// or a zero time if it is currently at or under it (or unbounded).
+func (o *outbox) overLimitSince() time.Time {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.overSince
+}
+
 func (o *outbox) close() {
 	o.mu.Lock()
 	o.closed = true
 	o.cond.Broadcast()
 	o.mu.Unlock()
 	<-o.done
+}
+
+// sweepPeriod returns how often the liveness/backpressure sweeper should
+// run, or zero when neither feature is enabled.
+func (s *Server) sweepPeriod() time.Duration {
+	var period time.Duration
+	if s.opts.Heartbeat > 0 {
+		period = s.opts.Heartbeat
+	}
+	if s.opts.OutboxLimit > 0 {
+		if g := s.outboxGrace() / 2; period == 0 || g < period {
+			period = g
+		}
+	}
+	if period > 0 && period < time.Millisecond {
+		period = time.Millisecond
+	}
+	return period
+}
+
+// livenessTimeout returns the configured silence deadline, defaulting to
+// three heartbeat intervals.
+func (s *Server) livenessTimeout() time.Duration {
+	if s.opts.LivenessTimeout > 0 {
+		return s.opts.LivenessTimeout
+	}
+	return 3 * s.opts.Heartbeat
+}
+
+// outboxGrace returns how long a backlog may stay over OutboxLimit.
+func (s *Server) outboxGrace() time.Duration {
+	if s.opts.OutboxGrace > 0 {
+		return s.opts.OutboxGrace
+	}
+	return time.Second
+}
+
+// sweeper periodically posts a liveness/backpressure sweep onto the state
+// loop until the server closes.
+func (s *Server) sweeper(period time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if !s.post(func() { s.sweep() }) {
+				return
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// sweep runs on the state loop: it evicts clients whose backlog has
+// exceeded OutboxLimit for longer than OutboxGrace, declares silent
+// clients dead after the liveness timeout, and pings the survivors.
+// Killing the connection lets the normal handleConn teardown release locks
+// and resolve pending events, so both failure paths share one cleanup.
+func (s *Server) sweep() {
+	now := time.Now()
+	for _, cl := range s.clients {
+		if s.opts.OutboxLimit > 0 {
+			if since := cl.out.overLimitSince(); !since.IsZero() && now.Sub(since) > s.outboxGrace() {
+				s.mEvictions.Inc()
+				s.slog.Warn("client evicted: outbox over limit",
+					"inst", string(cl.id), "limit", s.opts.OutboxLimit,
+					"over_for", now.Sub(since).String())
+				s.dropClient(cl, "evicted: outbox over limit")
+				cl.conn.Close()
+				continue
+			}
+		}
+		if s.opts.Heartbeat > 0 {
+			if silent := now.Sub(cl.lastSeen); silent > s.livenessTimeout() {
+				s.mLivenessTOs.Inc()
+				s.slog.Warn("client declared dead: liveness timeout",
+					"inst", string(cl.id), "silent_for", silent.String())
+				s.dropClient(cl, "liveness timeout")
+				cl.conn.Close()
+				continue
+			}
+			s.nextPing++
+			cl.out.send(wire.Envelope{Msg: wire.Ping{Nonce: s.nextPing}})
+		}
+	}
+}
+
+// mintToken returns a fresh random session token.
+func mintToken() (string, error) {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(buf[:]), nil
 }
 
 // errPerm tags permission failures.

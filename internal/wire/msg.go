@@ -54,6 +54,11 @@ const (
 	// TFetchState asks the server for the (relevant) state of any declared
 	// object; the reply is a StateReply correlated by RefSeq.
 	TFetchState
+	// Liveness and session resumption (fault tolerance).
+	TPing
+	TPong
+	TSessionToken
+	TResume
 )
 
 var typeNames = map[Type]string{
@@ -68,6 +73,7 @@ var typeNames = map[Type]string{
 	TListInstances: "ListInstances", TInstanceList: "InstanceList",
 	TGrantPerm: "GrantPerm", TRevokePerm: "RevokePerm",
 	TOK: "OK", TErr: "Err", TFetchState: "FetchState",
+	TPing: "Ping", TPong: "Pong", TSessionToken: "SessionToken", TResume: "Resume",
 }
 
 // String returns the message type's name.
@@ -299,6 +305,34 @@ type RevokePerm struct {
 	Right uint8
 }
 
+// Ping is a liveness probe. Either side may send one at any time; the peer
+// answers with a Pong echoing the nonce. Pings are fire-and-forget (Seq 0)
+// so they never collide with request/reply correlation.
+type Ping struct {
+	Nonce uint64
+}
+
+// Pong answers a Ping, echoing its nonce.
+type Pong struct {
+	Nonce uint64
+}
+
+// SessionToken is both the request for and the reply carrying a resumable
+// session token. A client sends it with an empty Token after registering;
+// the server replies with the minted token. Presenting the token in a
+// Resume handshake on a fresh connection reclaims the instance identity.
+type SessionToken struct {
+	Token string
+}
+
+// Resume replaces Register as the first message of a reconnecting client:
+// the token proves ownership of a previous registration, and the server
+// re-registers the connection under the original instance ID (superseding
+// any half-open previous connection).
+type Resume struct {
+	Token string
+}
+
 // OK is the generic success reply.
 type OK struct{}
 
@@ -338,6 +372,10 @@ func (InstanceList) MsgType() Type   { return TInstanceList }
 func (GrantPerm) MsgType() Type      { return TGrantPerm }
 func (RevokePerm) MsgType() Type     { return TRevokePerm }
 func (FetchState) MsgType() Type     { return TFetchState }
+func (Ping) MsgType() Type           { return TPing }
+func (Pong) MsgType() Type           { return TPong }
+func (SessionToken) MsgType() Type   { return TSessionToken }
+func (Resume) MsgType() Type         { return TResume }
 func (OK) MsgType() Type             { return TOK }
 func (Err) MsgType() Type            { return TErr }
 
@@ -495,6 +533,11 @@ func (m FetchState) encode(buf []byte) []byte {
 	return appendBool(buf, m.RelevantOnly)
 }
 
+func (m Ping) encode(buf []byte) []byte         { return appendUvarint(buf, m.Nonce) }
+func (m Pong) encode(buf []byte) []byte         { return appendUvarint(buf, m.Nonce) }
+func (m SessionToken) encode(buf []byte) []byte { return appendString(buf, m.Token) }
+func (m Resume) encode(buf []byte) []byte       { return appendString(buf, m.Token) }
+
 func (OK) encode(buf []byte) []byte    { return buf }
 func (m Err) encode(buf []byte) []byte { return appendString(buf, m.Text) }
 
@@ -595,6 +638,14 @@ func decodeMessage(t Type, body []byte) (Message, error) {
 		m = RevokePerm{User: d.string(), State: d.string(), Right: d.byte()}
 	case TFetchState:
 		m = FetchState{Ref: d.objectRef(), RelevantOnly: d.bool()}
+	case TPing:
+		m = Ping{Nonce: d.uvarint()}
+	case TPong:
+		m = Pong{Nonce: d.uvarint()}
+	case TSessionToken:
+		m = SessionToken{Token: d.string()}
+	case TResume:
+		m = Resume{Token: d.string()}
 	case TOK:
 		m = OK{}
 	case TErr:

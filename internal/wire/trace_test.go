@@ -150,10 +150,10 @@ func TestTracedFrameBytesDecode(t *testing.T) {
 
 	var body []byte
 	body = binary.LittleEndian.AppendUint16(body, uint16(TExecAck)|traceFlag)
-	body = binary.AppendUvarint(body, 0)    // seq
-	body = binary.AppendUvarint(body, 0)    // refSeq
-	body = binary.AppendUvarint(body, 777)  // trace id
-	body = binary.AppendUvarint(body, 888)  // span id
+	body = binary.AppendUvarint(body, 0)   // seq
+	body = binary.AppendUvarint(body, 0)   // refSeq
+	body = binary.AppendUvarint(body, 777) // trace id
+	body = binary.AppendUvarint(body, 888) // span id
 	body = ExecAck{EventID: 12}.encode(body)
 	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
 	frame = append(frame, body...)

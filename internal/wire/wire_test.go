@@ -68,6 +68,11 @@ func allMessages() []Message {
 		}},
 		GrantPerm{User: "u", State: "i1:*", Right: 2},
 		RevokePerm{User: "u", State: "i1:*", Right: 2},
+		Ping{Nonce: 42},
+		Pong{Nonce: 42},
+		SessionToken{},
+		SessionToken{Token: "f00dcafe"},
+		Resume{Token: "f00dcafe"},
 		OK{},
 		Err{Text: "boom"},
 	}
