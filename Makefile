@@ -25,9 +25,13 @@ race:
 verify: vet race
 
 # Soak the fault-injection tests: hung, partitioned, evicted, resumed and
-# duplicated connections, repeated under the race detector.
+# duplicated connections, repeated under the race detector — once over the
+# plain protocol and once with wire batching forced on every harness server
+# and client (COSOFT_BATCH_LIMIT), so every failure scenario also runs
+# against the packed fan-out path.
 chaos:
 	$(GO) test -race -run Chaos -count=3 ./...
+	COSOFT_BATCH_LIMIT=8 $(GO) test -race -run Chaos -count=3 ./...
 
 # Regenerates BENCH_obs.json (the metrics trajectory) along with the paper
 # benchmarks.

@@ -19,8 +19,8 @@
 //
 //	cosoftd [-listen :7817] [-metrics-addr :9090] [-history 32]
 //	        [-ordered-locking] [-heartbeat 5s] [-event-deadline 10s]
-//	        [-outbox-limit 1024] [-trace-buffer 4096] [-flight-depth 64]
-//	        [-log-level info] [-v]
+//	        [-outbox-limit 1024] [-batch-limit 32] [-trace-buffer 4096]
+//	        [-flight-depth 64] [-log-level info] [-v]
 package main
 
 import (
@@ -53,6 +53,7 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 0, "liveness ping interval; silent clients are dropped after 3 intervals (0 = disabled)")
 	eventDeadline := flag.Duration("event-deadline", 0, "max wait for event acknowledgements before the group unlocks without the stragglers (0 = disabled)")
 	outboxLimit := flag.Int("outbox-limit", 0, "per-client outbox high-water mark; clients over it for more than a second are evicted (0 = unbounded)")
+	batchLimit := flag.Int("batch-limit", 0, "max envelopes packed into one Batch frame for batch-aware clients (0 or 1 = batching disabled)")
 	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceBuffer, "causal-trace span ring size (0 = tracing disabled)")
 	flightDepth := flag.Int("flight-depth", obs.DefaultFlightDepth, "per-connection flight-recorder depth (0 = disabled)")
 	logLevel := flag.String("log-level", "", "structured log level: debug, info, warn or error (empty = logging disabled)")
@@ -66,6 +67,7 @@ func main() {
 		Heartbeat:      *heartbeat,
 		EventDeadline:  *eventDeadline,
 		OutboxLimit:    *outboxLimit,
+		BatchLimit:     *batchLimit,
 		Metrics:        metrics,
 	}
 	if *verbose {

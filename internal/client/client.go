@@ -88,6 +88,12 @@ type Options struct {
 	// wire trace extension, so leave it nil when the server may predate the
 	// extension. Nil disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// Batching opts the connection into the wire batch extension: the
+	// server may pack runs of envelopes into single Batch frames, and the
+	// client answers a packed run of Execs with one coalesced BatchAck.
+	// Like Tracer it is announced from the first frame, so leave it false
+	// when the server may predate the extension.
+	Batching bool
 	// Logger receives structured logs keyed by instance and trace IDs. Nil
 	// disables structured logging.
 	Logger *slog.Logger
@@ -159,6 +165,12 @@ func New(conn net.Conn, opts Options) (*Client, error) {
 		// extension before speaking; the server's conn auto-detects it from
 		// our first traced frame.
 		c.conn.EnableTrace()
+	}
+	if opts.Batching {
+		// Same negotiation shape for the batch extension: flagging every
+		// frame tells the server it may pack our fan-out before it sends us
+		// anything.
+		c.conn.EnableBatch()
 	}
 	// Handshake: Register must be answered by Registered before the loops
 	// start.
@@ -428,50 +440,80 @@ func (c *Client) supervise() {
 }
 
 // readConn routes replies to waiters and server-initiated traffic to the
-// dispatch queue, until conn fails.
+// dispatch queue, until conn fails. Batch frames are unpacked here: records
+// the read loop handles inline (replies, liveness, link mirroring) are
+// routed one by one, and the remaining run is queued as a single Batch so
+// the dispatch side can coalesce the acknowledgements of adjacent Execs.
 func (c *Client) readConn(conn *wire.Conn) {
 	for {
 		env, err := conn.Read()
 		if err != nil {
 			return
 		}
-		if env.RefSeq != 0 {
-			c.mu.Lock()
-			ch, ok := c.waiters[env.RefSeq]
-			if ok {
-				delete(c.waiters, env.RefSeq)
+		if batch, ok := env.Msg.(wire.Batch); ok {
+			var rest []wire.Envelope
+			for _, inner := range batch.Envelopes {
+				handled, err := c.routeLocal(conn, inner)
+				if err != nil {
+					return
+				}
+				if !handled {
+					rest = append(rest, inner)
+				}
 			}
-			c.mu.Unlock()
-			if ok {
-				ch <- env
-			}
-			continue
-		}
-		switch m := env.Msg.(type) {
-		case wire.Ping:
-			// Answer liveness probes from the read loop: a slow application
-			// callback in the dispatch queue must not make a healthy client
-			// look dead.
-			if err := conn.Write(wire.Envelope{Msg: wire.Pong{Nonce: m.Nonce}}); err != nil {
+			if len(rest) > 0 && !c.inq.push(wire.Envelope{Msg: wire.Batch{Envelopes: rest}}) {
 				return
 			}
 			continue
-		// Coupling information is mirrored synchronously so that a Couple
-		// call observes its own link as soon as the server confirmed it
-		// (the LinkAdded precedes the OK on the same connection).
-		case wire.LinkAdded:
-			if err := c.links.AddLink(m.Link); err != nil {
-				c.logf("client %s: mirror link: %v", c.id, err)
-			}
-			continue
-		case wire.LinkRemoved:
-			c.links.RemoveLink(m.Link.From, m.Link.To)
+		}
+		handled, err := c.routeLocal(conn, env)
+		if err != nil {
+			return
+		}
+		if handled {
 			continue
 		}
 		if !c.inq.push(env) {
 			return
 		}
 	}
+}
+
+// routeLocal handles the message kinds the read loop consumes inline,
+// reporting whether env was consumed. A non-nil error means the connection
+// failed.
+func (c *Client) routeLocal(conn *wire.Conn, env wire.Envelope) (bool, error) {
+	if env.RefSeq != 0 {
+		c.mu.Lock()
+		ch, ok := c.waiters[env.RefSeq]
+		if ok {
+			delete(c.waiters, env.RefSeq)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- env
+		}
+		return true, nil
+	}
+	switch m := env.Msg.(type) {
+	case wire.Ping:
+		// Answer liveness probes from the read loop: a slow application
+		// callback in the dispatch queue must not make a healthy client
+		// look dead.
+		return true, conn.Write(wire.Envelope{Msg: wire.Pong{Nonce: m.Nonce}})
+	// Coupling information is mirrored synchronously so that a Couple
+	// call observes its own link as soon as the server confirmed it
+	// (the LinkAdded precedes the OK on the same connection).
+	case wire.LinkAdded:
+		if err := c.links.AddLink(m.Link); err != nil {
+			c.logf("client %s: mirror link: %v", c.id, err)
+		}
+		return true, nil
+	case wire.LinkRemoved:
+		c.links.RemoveLink(m.Link.From, m.Link.To)
+		return true, nil
+	}
+	return false, nil
 }
 
 // dispatchLoop is the instance's UI thread for server-initiated work: remote
@@ -484,34 +526,77 @@ func (c *Client) dispatchLoop() {
 		if !ok {
 			return
 		}
-		switch m := env.Msg.(type) {
-		case wire.Exec:
-			c.handleExec(env.Trace, m)
-		case wire.SetLocks:
-			for _, path := range m.Paths {
-				if w, err := c.reg.Lookup(path); err == nil {
-					w.SetDisabled(m.Locked)
-				}
-			}
-		case wire.ApplyState:
-			c.handleApplyState(m)
-		case wire.StateRequest:
-			c.handleStateRequest(m)
-		case wire.CommandDeliver:
-			c.mu.Lock()
-			h := c.cmds[m.Name]
-			c.mu.Unlock()
-			if h != nil {
-				c.guard("command handler "+m.Name, env.Trace.Trace, func() {
-					h(m.From, m.Payload)
-				})
-			} else {
-				c.logf("client %s: no handler for command %q", c.id, m.Name)
-			}
-		default:
-			c.logf("client %s: unexpected server message %s", c.id, env.Msg.MsgType())
+		if batch, ok := env.Msg.(wire.Batch); ok {
+			c.dispatchBatch(batch)
+			continue
 		}
+		c.dispatchOne(env)
 	}
+}
+
+// dispatchOne processes a single server-initiated envelope.
+func (c *Client) dispatchOne(env wire.Envelope) {
+	switch m := env.Msg.(type) {
+	case wire.Exec:
+		c.handleExec(env.Trace, m)
+	case wire.SetLocks:
+		for _, path := range m.Paths {
+			if w, err := c.reg.Lookup(path); err == nil {
+				w.SetDisabled(m.Locked)
+			}
+		}
+	case wire.ApplyState:
+		c.handleApplyState(m)
+	case wire.StateRequest:
+		c.handleStateRequest(m)
+	case wire.CommandDeliver:
+		c.mu.Lock()
+		h := c.cmds[m.Name]
+		c.mu.Unlock()
+		if h != nil {
+			c.guard("command handler "+m.Name, env.Trace.Trace, func() {
+				h(m.From, m.Payload)
+			})
+		} else {
+			c.logf("client %s: no handler for command %q", c.id, m.Name)
+		}
+	default:
+		c.logf("client %s: unexpected server message %s", c.id, env.Msg.MsgType())
+	}
+}
+
+// dispatchBatch processes a packed run in record order, coalescing the
+// acknowledgements of adjacent Execs into one BatchAck. Each entry keeps
+// its own apply-span context, so the server's per-event causal chains and
+// its unlock bookkeeping see exactly what N single ExecAcks would have
+// delivered, in the same order — just in fewer frames.
+func (c *Client) dispatchBatch(batch wire.Batch) {
+	var run []wire.BatchAckEntry
+	flush := func() {
+		switch {
+		case len(run) == 0:
+		case len(run) == 1:
+			// A lone Exec acks exactly as the unbatched path would.
+			c.sendExecAck(run[0])
+		default:
+			if err := c.send(wire.Envelope{Msg: wire.BatchAck{Acks: run}}); err != nil {
+				c.logf("client %s: batch ack: %v", c.id, err)
+			}
+		}
+		run = nil
+	}
+	for _, env := range batch.Envelopes {
+		if m, ok := env.Msg.(wire.Exec); ok {
+			run = append(run, c.applyExec(env.Trace, m))
+			continue
+		}
+		// A non-Exec record interleaved in the run (a SetLocks between two
+		// events' Execs, a state application): flush the pending acks first
+		// so the server observes them in record order.
+		flush()
+		c.dispatchOne(env)
+	}
+	flush()
 }
 
 // guard runs an application callback, converting a panic into a logged

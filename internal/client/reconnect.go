@@ -103,6 +103,9 @@ func (c *Client) resume(raw net.Conn) (*wire.Conn, error) {
 	if c.tr != nil {
 		conn.EnableTrace()
 	}
+	if c.opts.Batching {
+		conn.EnableBatch()
+	}
 	c.mu.Lock()
 	tok := c.token
 	c.mu.Unlock()

@@ -111,10 +111,26 @@ func (c *Client) DispatchChecked(e *widget.Event) error {
 }
 
 // handleExec re-executes a remote event on the local member of the coupling
+// group and acknowledges it immediately — the unbatched path.
+func (c *Client) handleExec(tc obs.TraceContext, m wire.Exec) {
+	c.sendExecAck(c.applyExec(tc, m))
+}
+
+// sendExecAck acknowledges a single applied Exec, carrying the apply-span
+// context so the server's ack point descends from the re-execution.
+func (c *Client) sendExecAck(e wire.BatchAckEntry) {
+	if err := c.send(wire.Envelope{Trace: e.Trace, Msg: wire.ExecAck{EventID: e.EventID}}); err != nil {
+		c.logf("client %s: exec ack: %v", c.id, err)
+	}
+}
+
+// applyExec re-executes a remote event on the local member of the coupling
 // group: "this event packed with some parameters is sent to the server.
 // Then the server broadcasts this message to the application instances where
-// it is unpacked and re-executed" (§3.2).
-func (c *Client) handleExec(tc obs.TraceContext, m wire.Exec) {
+// it is unpacked and re-executed" (§3.2). It returns the acknowledgement the
+// caller owes the server; the caller sends it singly or folds it into a
+// coalesced BatchAck, but must send it either way so the group unlocks.
+func (c *Client) applyExec(tc obs.TraceContext, m wire.Exec) wire.BatchAckEntry {
 	t0 := c.mExec.Start()
 	// The re-execution span descends from the server's "server.exec_send"
 	// point; its context rides the ExecAck so the server's ack point in turn
@@ -131,7 +147,7 @@ func (c *Client) handleExec(tc obs.TraceContext, m wire.Exec) {
 	}
 	// The re-execution (which runs application callbacks) is guarded: a
 	// panicking handler must not take down the dispatch loop, and the
-	// ExecAck below must go out either way so the group unlocks.
+	// acknowledgement must go out either way so the group unlocks.
 	c.guard("remote event "+m.Name, tc.Trace, func() {
 		if _, err := c.reg.Deliver(e); err != nil {
 			// The object may be mid-destruction or the classes may disagree on
@@ -151,11 +167,9 @@ func (c *Client) handleExec(tc obs.TraceContext, m wire.Exec) {
 			}
 		}
 	})
-	if err := c.send(wire.Envelope{Trace: sp.Context(), Msg: wire.ExecAck{EventID: m.EventID}}); err != nil {
-		c.logf("client %s: exec ack: %v", c.id, err)
-	}
 	sp.End()
 	c.mExec.ObserveSince(t0)
+	return wire.BatchAckEntry{EventID: m.EventID, Trace: sp.Context()}
 }
 
 // markOrigin stamps the provenance attribute when congruence marking is on.

@@ -45,6 +45,9 @@ func (h *harness) dialChaos(appType, user, spec string, copts client.Options, sc
 	if copts.RPCTimeout == 0 {
 		copts.RPCTimeout = 5 * time.Second
 	}
+	if envBatchLimit > 0 {
+		copts.Batching = true
+	}
 	c, err := client.New(link.A, copts)
 	if err != nil {
 		h.t.Fatalf("dial %s: %v", appType, err)

@@ -165,7 +165,25 @@ func (s *Server) timeoutEvent(id uint64) {
 // the context the ExecAck envelope carried (the member's "client.exec_apply"
 // span), so the ack point descends from the member's re-execution.
 func (s *Server) handleExecAck(cl *client, m wire.ExecAck, tc obs.TraceContext) {
-	pe, ok := s.pendingEvents[m.EventID]
+	s.ackExec(cl, m.EventID, tc)
+}
+
+// handleBatchAck resolves a coalesced run of Exec acknowledgements. Each
+// entry carries its own event ID and apply-span context, so resolving the
+// run entry by entry is identical to receiving the same ExecAcks singly —
+// including the stale-ack tolerance: an entry for an event already resolved
+// by a deadline or disconnect is skipped without disturbing its batch-mates.
+func (s *Server) handleBatchAck(cl *client, m wire.BatchAck) {
+	s.mAcksCoalesced.Add(uint64(len(m.Acks)))
+	for _, a := range m.Acks {
+		s.ackExec(cl, a.EventID, a.Trace)
+	}
+}
+
+// ackExec is the shared ack-resolution core: decrement cl's outstanding
+// count for the event and unlock the group when the wait set empties.
+func (s *Server) ackExec(cl *client, eventID uint64, tc obs.TraceContext) {
+	pe, ok := s.pendingEvents[eventID]
 	if !ok {
 		return // stale ack (event already resolved by a disconnect)
 	}
@@ -178,7 +196,7 @@ func (s *Server) handleExecAck(cl *client, m wire.ExecAck, tc obs.TraceContext) 
 		delete(pe.waiting, cl.id)
 	}
 	if len(pe.waiting) == 0 {
-		s.finishEvent(m.EventID, pe)
+		s.finishEvent(eventID, pe)
 	}
 }
 

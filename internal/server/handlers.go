@@ -30,6 +30,8 @@ func (s *Server) handle(cl *client, env wire.Envelope) {
 		s.handleEvent(cl, env.Seq, m, env.Trace)
 	case wire.ExecAck:
 		s.handleExecAck(cl, m, env.Trace)
+	case wire.BatchAck:
+		s.handleBatchAck(cl, m)
 	case wire.CopyTo:
 		s.handleCopyTo(cl, env.Seq, m)
 	case wire.CopyFrom:

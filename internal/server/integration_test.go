@@ -2,6 +2,8 @@ package server_test
 
 import (
 	"errors"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -18,6 +20,15 @@ import (
 	"cosoft/internal/wire"
 )
 
+// envBatchLimit lets CI soak the whole suite in batched mode: when
+// COSOFT_BATCH_LIMIT=<n> is set, every harness server defaults to that
+// BatchLimit and every dialed client opts into the batch extension, so all
+// integration and chaos scenarios exercise the packed fan-out path.
+var envBatchLimit = func() int {
+	n, _ := strconv.Atoi(os.Getenv("COSOFT_BATCH_LIMIT"))
+	return n
+}()
+
 // harness runs one server and dials clients over in-process links.
 type harness struct {
 	t   *testing.T
@@ -27,6 +38,9 @@ type harness struct {
 
 func newHarness(t *testing.T, opts server.Options) *harness {
 	t.Helper()
+	if opts.BatchLimit == 0 {
+		opts.BatchLimit = envBatchLimit
+	}
 	h := &harness{t: t, srv: server.New(opts)}
 	t.Cleanup(func() {
 		h.srv.Close()
@@ -54,6 +68,9 @@ func (h *harness) dial(appType, user, spec string, copts client.Options) *client
 	copts.Registry = reg
 	if copts.RPCTimeout == 0 {
 		copts.RPCTimeout = 5 * time.Second
+	}
+	if envBatchLimit > 0 {
+		copts.Batching = true
 	}
 	c, err := client.New(link.A, copts)
 	if err != nil {

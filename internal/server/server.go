@@ -67,6 +67,11 @@ type Options struct {
 	// OutboxGrace is how long a backlog may exceed OutboxLimit before the
 	// client is evicted. Zero selects one second.
 	OutboxGrace time.Duration
+	// BatchLimit caps how many queued envelopes one outbox flush may pack
+	// into a single wire.Batch frame for batch-aware clients (histogram
+	// server.batch_size). Values above wire.MaxBatch are clamped; 0 or 1
+	// disables packing and every envelope goes out as its own frame.
+	BatchLimit int
 	// Metrics receives the server's counters, gauges and latency
 	// histograms. Nil means a private enabled registry (so Stats keeps
 	// working); pass obs.Disabled to remove all measurement cost.
@@ -114,20 +119,22 @@ type Server struct {
 
 	// Metric handles resolved from Options.Metrics at construction (nil
 	// handles under obs.Disabled; every method is a nil-safe no-op).
-	mEvents       *obs.Counter   // server.events: Event messages processed
-	mLockFails    *obs.Counter   // server.lock_failures: events denied the group lock
-	mExecsSent    *obs.Counter   // server.execs_sent: Exec broadcasts
-	mCopies       *obs.Counter   // server.copies: completed state transfers
-	mEventRTT     *obs.Histogram // server.event_rtt_ns: Event arrival → last ExecAck → unlock
-	mFanout       *obs.Histogram // server.event_fanout: Execs sent per broadcast event
-	mOutboxDepth  *obs.Gauge     // server.outbox_depth: queued envelopes across all outboxes
-	mClients      *obs.Gauge     // server.clients: connected instances
-	mLockAttempts *obs.Counter   // lock.group_attempts (shared with the lock table)
-	mLockUndone   *obs.Counter   // lock.undo_locked (shared with the lock table)
-	mEventTOs     *obs.Counter   // server.event_timeouts: events resolved by deadline
-	mEvictions    *obs.Counter   // server.evictions: clients dropped for backlog
-	mLivenessTOs  *obs.Counter   // server.liveness_timeouts: clients declared dead
-	mResumes      *obs.Counter   // server.resumes: sessions reclaimed by token
+	mEvents        *obs.Counter   // server.events: Event messages processed
+	mLockFails     *obs.Counter   // server.lock_failures: events denied the group lock
+	mExecsSent     *obs.Counter   // server.execs_sent: Exec broadcasts
+	mCopies        *obs.Counter   // server.copies: completed state transfers
+	mEventRTT      *obs.Histogram // server.event_rtt_ns: Event arrival → last ExecAck → unlock
+	mFanout        *obs.Histogram // server.event_fanout: Execs sent per broadcast event
+	mOutboxDepth   *obs.Gauge     // server.outbox_depth: queued envelopes across all outboxes
+	mClients       *obs.Gauge     // server.clients: connected instances
+	mLockAttempts  *obs.Counter   // lock.group_attempts (shared with the lock table)
+	mLockUndone    *obs.Counter   // lock.undo_locked (shared with the lock table)
+	mEventTOs      *obs.Counter   // server.event_timeouts: events resolved by deadline
+	mEvictions     *obs.Counter   // server.evictions: clients dropped for backlog
+	mLivenessTOs   *obs.Counter   // server.liveness_timeouts: clients declared dead
+	mResumes       *obs.Counter   // server.resumes: sessions reclaimed by token
+	mBatchSize     *obs.Histogram // server.batch_size: envelopes per packed Batch frame
+	mAcksCoalesced *obs.Counter   // server.acks_coalesced: ExecAcks that arrived inside a BatchAck
 
 	closeOnce sync.Once
 }
@@ -173,6 +180,11 @@ type Stats struct {
 	LivenessTimeouts uint64
 	// Resumes counts reconnections that reclaimed a session by token.
 	Resumes uint64
+	// AcksCoalesced counts Exec acknowledgements that arrived packed inside
+	// BatchAck frames; BatchSize summarizes how many envelopes each packed
+	// outgoing Batch frame carried.
+	AcksCoalesced uint64
+	BatchSize     obs.Summary
 	// PendingEvents is the number of broadcast events still awaiting Exec
 	// acknowledgements (should return to zero at quiescence).
 	PendingEvents int
@@ -233,20 +245,22 @@ func New(opts Options) *Server {
 		pendingFetch:  make(map[uint64]*fetch),
 		sessions:      make(map[string]sessionRec),
 
-		mEvents:       metrics.Counter("server.events"),
-		mLockFails:    metrics.Counter("server.lock_failures"),
-		mExecsSent:    metrics.Counter("server.execs_sent"),
-		mCopies:       metrics.Counter("server.copies"),
-		mEventRTT:     metrics.Histogram("server.event_rtt_ns"),
-		mFanout:       metrics.Histogram("server.event_fanout"),
-		mOutboxDepth:  metrics.Gauge("server.outbox_depth"),
-		mClients:      metrics.Gauge("server.clients"),
-		mLockAttempts: metrics.Counter("lock.group_attempts"),
-		mLockUndone:   metrics.Counter("lock.undo_locked"),
-		mEventTOs:     metrics.Counter("server.event_timeouts"),
-		mEvictions:    metrics.Counter("server.evictions"),
-		mLivenessTOs:  metrics.Counter("server.liveness_timeouts"),
-		mResumes:      metrics.Counter("server.resumes"),
+		mEvents:        metrics.Counter("server.events"),
+		mLockFails:     metrics.Counter("server.lock_failures"),
+		mExecsSent:     metrics.Counter("server.execs_sent"),
+		mCopies:        metrics.Counter("server.copies"),
+		mEventRTT:      metrics.Histogram("server.event_rtt_ns"),
+		mFanout:        metrics.Histogram("server.event_fanout"),
+		mOutboxDepth:   metrics.Gauge("server.outbox_depth"),
+		mClients:       metrics.Gauge("server.clients"),
+		mLockAttempts:  metrics.Counter("lock.group_attempts"),
+		mLockUndone:    metrics.Counter("lock.undo_locked"),
+		mEventTOs:      metrics.Counter("server.event_timeouts"),
+		mEvictions:     metrics.Counter("server.evictions"),
+		mLivenessTOs:   metrics.Counter("server.liveness_timeouts"),
+		mResumes:       metrics.Counter("server.resumes"),
+		mBatchSize:     metrics.Histogram("server.batch_size"),
+		mAcksCoalesced: metrics.Counter("server.acks_coalesced"),
 	}
 	s.locks.Instrument(s.mLockAttempts, metrics.Counter("lock.group_failures"), s.mLockUndone)
 	s.locks.TraceWith(opts.Tracer)
@@ -368,6 +382,8 @@ func (s *Server) Stats() Stats {
 			Evictions:        s.mEvictions.Value(),
 			LivenessTimeouts: s.mLivenessTOs.Value(),
 			Resumes:          s.mResumes.Value(),
+			AcksCoalesced:    s.mAcksCoalesced.Value(),
+			BatchSize:        s.mBatchSize.Summary(),
 			PendingEvents:    len(s.pendingEvents),
 		}
 	}) {
@@ -393,7 +409,7 @@ func (s *Server) handleConn(c *wire.Conn) {
 		conn: c,
 		name: c.RemoteAddr().String(),
 	}
-	cl.out = newOutbox(c, s.mOutboxDepth, s.opts.OutboxLimit, s.outboxRecorder(cl))
+	cl.out = newOutbox(c, s.mOutboxDepth, s.opts.OutboxLimit, s.opts.BatchLimit, s.mBatchSize, s.outboxRecorder(cl))
 	var joinErr string
 	switch m := env.Msg.(type) {
 	case wire.Register:
@@ -561,6 +577,10 @@ func flightNote(m wire.Message) string {
 		return m.Name + " from " + string(m.From)
 	case wire.Err:
 		return m.Text
+	case wire.Batch:
+		return fmt.Sprintf("%d envelopes", len(m.Envelopes))
+	case wire.BatchAck:
+		return fmt.Sprintf("%d acks", len(m.Acks))
 	default:
 		return ""
 	}
@@ -581,13 +601,23 @@ type outbox struct {
 	depth  *obs.Gauge          // shared across outboxes: total server backlog
 	onSend func(wire.Envelope) // flight-recorder hook; nil when disabled
 	limit  int                 // high-water mark; 0 = unbounded
+	// inflight counts envelopes handed to the writer but not yet written;
+	// inflight+len(queue) is the true backlog the eviction limit measures.
+	inflight int
+	// batchLimit caps envelopes per packed Batch frame; <=1 disables packing.
+	batchLimit int
+	batchSize  *obs.Histogram // envelopes per packed frame (server.batch_size)
 	// overSince is when the backlog last rose above limit; zero while at or
 	// under the mark.
 	overSince time.Time
 }
 
-func newOutbox(c *wire.Conn, depth *obs.Gauge, limit int, onSend func(wire.Envelope)) *outbox {
-	o := &outbox{done: make(chan struct{}), depth: depth, limit: limit, onSend: onSend}
+func newOutbox(c *wire.Conn, depth *obs.Gauge, limit, batchLimit int, batchSize *obs.Histogram, onSend func(wire.Envelope)) *outbox {
+	if batchLimit > wire.MaxBatch {
+		batchLimit = wire.MaxBatch
+	}
+	o := &outbox{done: make(chan struct{}), depth: depth, limit: limit,
+		batchLimit: batchLimit, batchSize: batchSize, onSend: onSend}
 	o.cond = sync.NewCond(&o.mu)
 	go func() {
 		defer close(o.done)
@@ -600,25 +630,61 @@ func newOutbox(c *wire.Conn, depth *obs.Gauge, limit int, onSend func(wire.Envel
 				o.mu.Unlock()
 				return
 			}
-			env := o.queue[0]
-			o.queue = o.queue[1:]
-			o.depth.Add(-1)
-			if o.limit > 0 && len(o.queue) <= o.limit {
-				o.overSince = time.Time{}
-			}
+			// Hand the whole backlog to the writer in one slice: everything
+			// that queued up while the previous flush blocked becomes one
+			// flush, which is what gives flush-time packing a run to pack.
+			take := o.queue
+			o.queue = nil
+			o.inflight = len(take)
 			o.mu.Unlock()
-			if err := c.Write(env); err != nil {
+			err := o.flush(c, take)
+			o.mu.Lock()
+			if err != nil {
 				// Connection broken; drop remaining output.
-				o.mu.Lock()
-				o.depth.Add(-int64(len(o.queue)))
+				o.depth.Add(-int64(o.inflight + len(o.queue)))
+				o.inflight = 0
 				o.queue = nil
 				o.closed = true
 				o.mu.Unlock()
 				return
 			}
+			o.inflight = 0
+			if o.limit > 0 && len(o.queue) <= o.limit {
+				o.overSince = time.Time{}
+			}
+			o.mu.Unlock()
 		}
 	}()
 	return o
+}
+
+// flush writes one drained backlog. For a batch-aware peer, runs of queued
+// envelopes are packed into Batch frames of up to batchLimit records each;
+// otherwise (or when packing is disabled) every envelope goes out as its
+// own frame. Either way the envelopes reach the wire in queue order.
+func (o *outbox) flush(c *wire.Conn, envs []wire.Envelope) error {
+	for len(envs) > 0 {
+		n := 1
+		if o.batchLimit > 1 && len(envs) > 1 && c.BatchAware() {
+			n = min(len(envs), o.batchLimit)
+		}
+		var err error
+		if n == 1 {
+			err = c.Write(envs[0])
+		} else {
+			o.batchSize.Observe(int64(n))
+			err = c.Write(wire.Envelope{Msg: wire.Batch{Envelopes: envs[:n]}})
+		}
+		if err != nil {
+			return err
+		}
+		o.depth.Add(-int64(n))
+		o.mu.Lock()
+		o.inflight -= n
+		o.mu.Unlock()
+		envs = envs[n:]
+	}
+	return nil
 }
 
 func (o *outbox) send(env wire.Envelope) {
@@ -626,7 +692,7 @@ func (o *outbox) send(env wire.Envelope) {
 	if !o.closed {
 		o.queue = append(o.queue, env)
 		o.depth.Add(1)
-		if o.limit > 0 && len(o.queue) > o.limit && o.overSince.IsZero() {
+		if o.limit > 0 && o.inflight+len(o.queue) > o.limit && o.overSince.IsZero() {
 			o.overSince = time.Now()
 		}
 		o.cond.Signal()

@@ -14,6 +14,12 @@ func FuzzDecodeMessage(f *testing.F) {
 	for _, m := range allMessages() {
 		f.Add(uint16(m.MsgType()), m.encode(nil))
 	}
+	// Hand-built malformed Batch bodies: truncated record, zero record
+	// count, over-cap count, nested batch — all must be rejected, never
+	// panic.
+	for _, body := range malformedBatchBodies() {
+		f.Add(uint16(TBatch), body)
+	}
 	f.Fuzz(func(t *testing.T, rawType uint16, body []byte) {
 		m, err := decodeMessage(Type(rawType), body)
 		if err != nil {
@@ -59,6 +65,26 @@ func FuzzConnRead(f *testing.F) {
 	hframe := binary.LittleEndian.AppendUint32(nil, uint32(len(hbody)))
 	hframe = append(hframe, hbody...)
 	f.Add(hframe)
+	// Batch frames: a well-formed two-record batch (with the batchFlag
+	// capability bit set, as a batching sender would emit it) plus every
+	// malformed body from the rejection corpus, framed.
+	bbody := binary.LittleEndian.AppendUint16(nil, uint16(TBatch)|batchFlag)
+	bbody = binary.AppendUvarint(bbody, 0)
+	bbody = binary.AppendUvarint(bbody, 0)
+	bbody = Batch{Envelopes: []Envelope{
+		{Msg: Exec{EventID: 1, TargetPath: "/a", Name: "changed"}},
+		{Trace: obs.TraceContext{Trace: 5, Span: 6}, Msg: ExecAck{EventID: 1}},
+	}}.encode(bbody)
+	bframe := binary.LittleEndian.AppendUint32(nil, uint32(len(bbody)))
+	f.Add(append(bframe, bbody...))
+	for _, body := range malformedBatchBodies() {
+		mb := binary.LittleEndian.AppendUint16(nil, uint16(TBatch))
+		mb = binary.AppendUvarint(mb, 0)
+		mb = binary.AppendUvarint(mb, 0)
+		mb = append(mb, body...)
+		mf := binary.LittleEndian.AppendUint32(nil, uint32(len(mb)))
+		f.Add(append(mf, mb...))
+	}
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		a, b := Pipe()
 		defer a.Close()

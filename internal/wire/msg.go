@@ -59,6 +59,10 @@ const (
 	TPong
 	TSessionToken
 	TResume
+	// Frame batching: wire-level aggregation of the Exec fan-out hot path
+	// (see batch.go and the package comment's batch-extension section).
+	TBatch
+	TBatchAck
 )
 
 var typeNames = map[Type]string{
@@ -74,6 +78,7 @@ var typeNames = map[Type]string{
 	TGrantPerm: "GrantPerm", TRevokePerm: "RevokePerm",
 	TOK: "OK", TErr: "Err", TFetchState: "FetchState",
 	TPing: "Ping", TPong: "Pong", TSessionToken: "SessionToken", TResume: "Resume",
+	TBatch: "Batch", TBatchAck: "BatchAck",
 }
 
 // String returns the message type's name.
@@ -646,6 +651,10 @@ func decodeMessage(t Type, body []byte) (Message, error) {
 		m = SessionToken{Token: d.string()}
 	case TResume:
 		m = Resume{Token: d.string()}
+	case TBatch:
+		m = decodeBatch(d)
+	case TBatchAck:
+		m = decodeBatchAck(d)
 	case TOK:
 		m = OK{}
 	case TErr:

@@ -27,6 +27,18 @@
 // latches that on Read and from then on flags the frames that carry
 // context. A legacy peer neither opts in nor sends flagged frames, so it
 // never sees the flag and a legacy stream decodes exactly as before.
+//
+// # Batch extension
+//
+// The batchFlag bit in the type field is negotiated exactly like traceFlag:
+// an initiator that opts in with EnableBatch flags every frame it writes,
+// announcing that it understands the Batch and BatchAck message types; an
+// acceptor latches the capability on Read. The flag itself changes nothing
+// about the frame layout — it is pure capability advertisement. Only once
+// BatchAware reports true may a side send a Batch frame, which packs a run
+// of envelopes (each with its own type, correlation numbers, and optional
+// trace context) into one wire frame. Legacy peers never advertise the bit
+// and therefore keep receiving plain single-message frames.
 package wire
 
 import (
@@ -45,6 +57,14 @@ import (
 // traceFlag marks a frame whose header carries trace context. It lives in
 // the type field's high bit, far above any assigned message type.
 const traceFlag uint16 = 0x8000
+
+// batchFlag advertises the batch capability (see the package comment). Like
+// traceFlag it lives far above any assigned message type; unlike traceFlag
+// it never changes the layout of the frame that carries it.
+const batchFlag uint16 = 0x4000
+
+// flagMask covers every extension bit that may decorate the type field.
+const flagMask = traceFlag | batchFlag
 
 // MaxFrame is the largest accepted frame body. Larger length prefixes are
 // treated as protocol errors rather than allocation requests.
@@ -81,6 +101,12 @@ type Conn struct {
 	// frame. Either one licenses traced output.
 	sendTrace atomic.Bool
 	peerTrace atomic.Bool
+
+	// sendBatch/peerBatch mirror the trace pair for the batch capability:
+	// the local opt-in flags every outgoing frame with batchFlag, and the
+	// peer's flag latches on Read. Either one licenses Batch frames.
+	sendBatch atomic.Bool
+	peerBatch atomic.Bool
 }
 
 // NewConn wraps a net.Conn. The caller retains responsibility for closing.
@@ -103,6 +129,16 @@ func (c *Conn) EnableTrace() { c.sendTrace.Store(true) }
 // the local side opted in, or the peer has already sent one.
 func (c *Conn) TraceAware() bool { return c.sendTrace.Load() || c.peerTrace.Load() }
 
+// EnableBatch opts this side into the batch extension: every outgoing frame
+// carries the batchFlag capability bit, announcing that Batch frames are
+// understood. Like EnableTrace it is for connection initiators only; do not
+// enable when the remote peer may predate the extension.
+func (c *Conn) EnableBatch() { c.sendBatch.Store(true) }
+
+// BatchAware reports whether Batch frames may be sent on this connection:
+// the local side opted in, or the peer has advertised the capability.
+func (c *Conn) BatchAware() bool { return c.sendBatch.Load() || c.peerBatch.Load() }
+
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.conn.Close() }
 
@@ -122,6 +158,9 @@ func (c *Conn) Write(env Envelope) error {
 	t := uint16(env.Msg.MsgType())
 	if traced {
 		t |= traceFlag
+	}
+	if c.sendBatch.Load() {
+		t |= batchFlag
 	}
 	body := make([]byte, 0, 64)
 	body = binary.LittleEndian.AppendUint16(body, t)
@@ -171,8 +210,12 @@ func (c *Conn) Read() (Envelope, error) {
 		return Envelope{}, fmt.Errorf("wire: read frame body: %w", err)
 	}
 	rawType := binary.LittleEndian.Uint16(body)
-	t := Type(rawType &^ traceFlag)
+	t := Type(rawType &^ flagMask)
 	body = body[2:]
+	if rawType&batchFlag != 0 {
+		// The peer advertises batch capability; replies may pack frames.
+		c.peerBatch.Store(true)
+	}
 	seq, sz := binary.Uvarint(body)
 	if sz <= 0 {
 		return Envelope{}, errors.New("wire: bad seq")

@@ -10,6 +10,7 @@ import (
 
 	"cosoft/internal/attr"
 	"cosoft/internal/couple"
+	"cosoft/internal/obs"
 	"cosoft/internal/widget"
 )
 
@@ -73,6 +74,18 @@ func allMessages() []Message {
 		SessionToken{},
 		SessionToken{Token: "f00dcafe"},
 		Resume{Token: "f00dcafe"},
+		Batch{Envelopes: []Envelope{
+			{Seq: 4, Msg: SetLocks{Paths: []string{"/a", "/b"}, Locked: true}},
+			{Trace: obs.TraceContext{Trace: 7, Span: 8},
+				Msg: Exec{EventID: 7, TargetPath: "/q", Name: "changed",
+					Args: []attr.Value{attr.String("x")}, Origin: refA}},
+			{RefSeq: 3, Msg: OK{}},
+		}},
+		Batch{Envelopes: []Envelope{{Msg: Exec{EventID: 9, TargetPath: "/q", Name: "activate"}}}},
+		BatchAck{Acks: []BatchAckEntry{
+			{EventID: 7, Trace: obs.TraceContext{Trace: 7, Span: 9}},
+			{EventID: 8},
+		}},
 		OK{},
 		Err{Text: "boom"},
 	}
@@ -112,6 +125,14 @@ func normalize(m Message) Message {
 		if len(v.Paths) == 0 {
 			v.Paths = nil
 		}
+		return v
+	case Batch:
+		envs := make([]Envelope, len(v.Envelopes))
+		for i, e := range v.Envelopes {
+			e.Msg = normalize(e.Msg)
+			envs[i] = e
+		}
+		v.Envelopes = envs
 		return v
 	case CopyTo:
 		v.State = normalizeTS(v.State)
