@@ -2,6 +2,7 @@ package server
 
 import (
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -14,7 +15,7 @@ import (
 // peer opts into the batch extension and speaks one frame first so the
 // outbox's conn latches the capability before anything is queued (mirroring
 // the real handshake, where the client's Hello precedes all fan-out).
-func outboxPair(t *testing.T, peerBatch bool, batchLimit int) (*outbox, *wire.Conn) {
+func outboxPair(t *testing.T, peerBatch bool, limit, batchLimit int) (*outbox, *wire.Conn) {
 	t.Helper()
 	rawA, rawB := net.Pipe()
 	t.Cleanup(func() { rawA.Close(); rawB.Close() })
@@ -30,7 +31,7 @@ func outboxPair(t *testing.T, peerBatch bool, batchLimit int) (*outbox, *wire.Co
 		}
 	}
 	reg := obs.NewRegistry()
-	o := newOutbox(c, reg.Gauge("depth"), 0, batchLimit, reg.Histogram("batch"), nil)
+	o := newOutbox(c, reg.Gauge("depth"), limit, batchLimit, reg.Histogram("batch"), nil)
 	return o, peer
 }
 
@@ -57,7 +58,7 @@ func waitDrained(t *testing.T, o *outbox, inflight int) {
 // wakeup, which for a batch-aware peer means one packed frame, not N.
 func TestOutboxBlockedWriterDrainsBacklogAsOneFlush(t *testing.T) {
 	const queued = 5
-	o, peer := outboxPair(t, true, 8)
+	o, peer := outboxPair(t, true, 0, 8)
 	defer o.close()
 
 	// First envelope: the writer takes it and blocks in Write (net.Pipe has
@@ -103,7 +104,7 @@ func TestOutboxBlockedWriterDrainsBacklogAsOneFlush(t *testing.T) {
 // reaches the wire as individual frames in queue order.
 func TestOutboxLegacyPeerGetsSingles(t *testing.T) {
 	const queued = 4
-	o, peer := outboxPair(t, false, 8)
+	o, peer := outboxPair(t, false, 0, 8)
 	defer o.close()
 
 	for i := uint64(0); i < queued; i++ {
@@ -129,7 +130,7 @@ func TestOutboxLegacyPeerGetsSingles(t *testing.T) {
 // limit is split into consecutive Batch frames of at most limit records.
 func TestOutboxBatchLimitSplitsLongRuns(t *testing.T) {
 	const limit, queued = 3, 7
-	o, peer := outboxPair(t, true, limit)
+	o, peer := outboxPair(t, true, 0, limit)
 	defer o.close()
 
 	o.send(wire.Envelope{Msg: wire.Exec{EventID: 300}})
@@ -166,6 +167,91 @@ func TestOutboxBatchLimitSplitsLongRuns(t *testing.T) {
 				t.Fatalf("EventID = %d, want %d", m.EventID, next)
 			}
 			next++
+		}
+	}
+	waitDrained(t, o, 0)
+}
+
+// TestOutboxOversizedBatchFallsBackToSingles is the regression test for the
+// frame-size teardown bug: a run whose packed Batch body would exceed
+// wire.MaxFrame must still reach the peer — split down to singles if need
+// be — instead of being treated as a broken connection.
+func TestOutboxOversizedBatchFallsBackToSingles(t *testing.T) {
+	o, peer := outboxPair(t, true, 0, 8)
+	defer o.close()
+
+	// Each envelope fits comfortably in a frame of its own; packed together
+	// their one Batch body would overflow MaxFrame.
+	big := strings.Repeat("x", wire.MaxFrame/2+1<<20)
+	o.send(wire.Envelope{Msg: wire.Exec{EventID: 400}})
+	waitDrained(t, o, 1)
+	o.send(wire.Envelope{Msg: wire.Err{Text: big}})
+	o.send(wire.Envelope{Msg: wire.Err{Text: big}})
+
+	if env, err := peer.Read(); err != nil {
+		t.Fatalf("read: %v", err)
+	} else if _, ok := env.Msg.(wire.Exec); !ok {
+		t.Fatalf("first frame = %T, want the blocked single Exec", env.Msg)
+	}
+	for i := 0; i < 2; i++ {
+		env, err := peer.Read()
+		if err != nil {
+			t.Fatalf("read big frame %d: %v", i, err)
+		}
+		m, ok := env.Msg.(wire.Err)
+		if !ok || len(m.Text) != len(big) {
+			t.Fatalf("big frame %d = %T, want the full single Err", i, env.Msg)
+		}
+	}
+	waitDrained(t, o, 0)
+
+	// The connection survived the oversized run: later traffic still flows.
+	o.send(wire.Envelope{Msg: wire.Exec{EventID: 401}})
+	env, err := peer.Read()
+	if err != nil {
+		t.Fatalf("read after fallback: %v", err)
+	}
+	if m, ok := env.Msg.(wire.Exec); !ok || m.EventID != 401 {
+		t.Fatalf("frame after fallback = %T %+v", env.Msg, env.Msg)
+	}
+}
+
+// TestOutboxFlushClearsOverSinceMidFlush: eviction accounting must track the
+// true backlog while a long flush is still draining. Once in-flight plus
+// queued falls back to the limit the over-limit stopwatch clears, even
+// though the writer is still blocked on a later chunk of the same flush.
+func TestOutboxFlushClearsOverSinceMidFlush(t *testing.T) {
+	o, peer := outboxPair(t, false, 2, 8)
+	defer o.close()
+
+	o.send(wire.Envelope{Msg: wire.Exec{EventID: 500}})
+	waitDrained(t, o, 1)
+	for i := uint64(1); i <= 3; i++ {
+		o.send(wire.Envelope{Msg: wire.Exec{EventID: 500 + i}})
+	}
+	if o.overLimitSince().IsZero() {
+		t.Fatal("backlog over the limit but overSince not set")
+	}
+
+	// Drain the blocked single plus the first chunk of the follow-up flush:
+	// the remaining backlog (two in flight) is then back at the limit, so
+	// the stopwatch must clear while that flush is still blocked on its
+	// next chunk.
+	for i := 0; i < 2; i++ {
+		if _, err := peer.Read(); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !o.overLimitSince().IsZero() {
+		if time.Now().After(deadline) {
+			t.Fatal("overSince not cleared while the flush was still draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := peer.Read(); err != nil {
+			t.Fatalf("tail read %d: %v", i, err)
 		}
 	}
 	waitDrained(t, o, 0)

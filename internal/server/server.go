@@ -669,11 +669,23 @@ func (o *outbox) flush(c *wire.Conn, envs []wire.Envelope) error {
 			n = min(len(envs), o.batchLimit)
 		}
 		var err error
-		if n == 1 {
-			err = c.Write(envs[0])
-		} else {
-			o.batchSize.Observe(int64(n))
+		for {
+			if n == 1 {
+				err = c.Write(envs[0])
+				break
+			}
 			err = c.Write(wire.Envelope{Msg: wire.Batch{Envelopes: envs[:n]}})
+			if !errors.Is(err, wire.ErrFrameTooLarge) {
+				if err == nil {
+					o.batchSize.Observe(int64(n))
+				}
+				break
+			}
+			// The packed body overflowed MaxFrame even though each envelope
+			// fits on its own (Write rejects oversized frames before touching
+			// the wire, so nothing was sent). Halve the run and retry rather
+			// than tearing down a connection the unbatched path would serve.
+			n /= 2
 		}
 		if err != nil {
 			return err
@@ -681,6 +693,12 @@ func (o *outbox) flush(c *wire.Conn, envs []wire.Envelope) error {
 		o.depth.Add(-int64(n))
 		o.mu.Lock()
 		o.inflight -= n
+		if o.limit > 0 && o.inflight+len(o.queue) <= o.limit {
+			// The true backlog (in-flight plus re-queued) is back under the
+			// eviction mark; clear the stopwatch per chunk so a long flush of
+			// a draining peer is not mistaken for a stuck one.
+			o.overSince = time.Time{}
+		}
 		o.mu.Unlock()
 		envs = envs[n:]
 	}

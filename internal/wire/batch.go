@@ -16,7 +16,7 @@ const MaxBatch = 4096
 // and (when present) trace context, so unpacking a Batch yields exactly the
 // envelopes that would otherwise have arrived as individual frames, in the
 // same order. Batch frames may only be sent once BatchAware reports true;
-// a Batch may not nest another Batch.
+// a Batch may not nest another Batch or a BatchAck.
 //
 // Record layout, repeated Count times after a leading uvarint count:
 //
@@ -118,6 +118,10 @@ func (d *decoder) innerEnvelope() (Envelope, bool) {
 	}
 	if t == TBatch {
 		d.fail("nested batch")
+		return Envelope{}, false
+	}
+	if t == TBatchAck {
+		d.fail("nested batch ack")
 		return Envelope{}, false
 	}
 	msg, err := decodeMessage(t, body)

@@ -149,7 +149,8 @@ func TestBatchFrameBytesDecode(t *testing.T) {
 }
 
 // malformedBatchBodies builds the rejection corpus: zero record count, a
-// count far over the cap, a truncated record, and a nested batch.
+// count far over the cap, a truncated record, a nested batch, and a nested
+// batch ack.
 func malformedBatchBodies() map[string][]byte {
 	okRecord := appendBatchRecord(nil, TExecAck, 0, 0, obs.TraceContext{},
 		ExecAck{EventID: 1}.encode(nil))
@@ -158,6 +159,9 @@ func malformedBatchBodies() map[string][]byte {
 	nested := binary.AppendUvarint(nil, 1)
 	nested = appendBatchRecord(nested, TBatch, 0, 0, obs.TraceContext{},
 		Batch{Envelopes: []Envelope{{Msg: OK{}}}}.encode(nil))
+	nestedAck := binary.AppendUvarint(nil, 1)
+	nestedAck = appendBatchRecord(nestedAck, TBatchAck, 0, 0, obs.TraceContext{},
+		BatchAck{Acks: []BatchAckEntry{{EventID: 1}}}.encode(nil))
 	shortRecord := binary.AppendUvarint(nil, 1)
 	shortRecord = append(shortRecord, 0xff) // not even a full type field
 	return map[string][]byte{
@@ -165,6 +169,7 @@ func malformedBatchBodies() map[string][]byte {
 		"over-count":   binary.AppendUvarint(nil, MaxBatch+1),
 		"truncated":    truncated,
 		"nested":       nested,
+		"nested-ack":   nestedAck,
 		"short-record": shortRecord,
 	}
 }
