@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet verify bench chaos
+.PHONY: all build test race vet verify bench chaos load-smoke
 
 all: verify
 
@@ -37,3 +37,9 @@ chaos:
 # benchmarks.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Exercises the cosoft-load generator end to end against an in-process
+# server — 64 clients in 2 groups for ~5 seconds — so the load harness
+# itself cannot rot. Reports only; no trajectory row is written.
+load-smoke:
+	$(GO) run ./cmd/cosoft-load -groups 2 -group-size 32 -duration 5s

@@ -6,11 +6,9 @@ package cosoft_test
 // cmd/experiments binary prints the full sweeps.
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"net"
-	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -18,7 +16,9 @@ import (
 
 	"cosoft"
 	"cosoft/internal/attr"
+	"cosoft/internal/benchio"
 	"cosoft/internal/client"
+	"cosoft/internal/couple"
 	"cosoft/internal/experiments"
 	"cosoft/internal/netsim"
 	"cosoft/internal/obs"
@@ -311,83 +311,167 @@ func BenchmarkEvent(b *testing.B) {
 	// above this pair runs over real loopback TCP, where every frame costs a
 	// syscall and a reader wakeup — the per-frame overhead batching exists
 	// to amortize; an in-process channel transport would hide it.
+	for _, mode := range []string{"batched-off", "batched-on"} {
+		var sopts server.Options
+		batching := false
+		if mode == "batched-on" {
+			sopts.BatchLimit = 64
+			batching = true
+		}
+		b.Run(mode, func(b *testing.B) {
+			fanoutBench(b, "BenchmarkEvent/"+mode, sopts, batching, mode == "batched-on")
+		})
+	}
+
+	// The encode-once pair isolates the shared-body optimization: both
+	// variants batch (the PR 5 baseline), and differ only in whether the
+	// broadcast's Exec body is encoded once into a shared buffer or
+	// re-encoded per member. The trajectory rows record B/event and
+	// allocs/event alongside server.bytes_encoded, whose ~fanWidth-times
+	// drop is the optimization's signature.
+	for _, mode := range []string{"encode-once-off", "encode-once-on"} {
+		sopts := server.Options{BatchLimit: 64, DisableEncodeOnce: mode == "encode-once-off"}
+		b.Run(mode, func(b *testing.B) {
+			fanoutBench(b, "BenchmarkEvent/"+mode, sopts, true, false)
+		})
+	}
+}
+
+// fanoutBench runs one BenchmarkEvent fan-out variant: one hub object on the
+// origin coupled to fanWidth members on a peer instance over real loopback
+// TCP. Besides the RTT metrics it measures whole-process B/event and
+// allocs/event across the timed loop (runtime.MemStats deltas — both client
+// processes included, so the numbers are comparable across variants, not
+// absolute server costs) and appends everything to the trajectory.
+func fanoutBench(b *testing.B, bench string, sopts server.Options, batching, gateCoalesced bool) {
 	const fanWidth = 32
 	var spec strings.Builder
 	spec.WriteString("textfield hub value=\"\"\n")
 	for i := 0; i < fanWidth; i++ {
 		fmt.Fprintf(&spec, "textfield m%d value=\"\"\n", i)
 	}
-	for _, mode := range []string{"batched-off", "batched-on"} {
-		b.Run(mode, func(b *testing.B) {
-			reg := obs.NewRegistry()
-			sopts := server.Options{Metrics: reg}
-			var copts client.Options
-			if mode == "batched-on" {
-				sopts.BatchLimit = 64
-				copts.Batching = true
+	reg := obs.NewRegistry()
+	sopts.Metrics = reg
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(sopts)
+	go srv.Serve(lis)
+	defer srv.Close()
+	defer lis.Close()
+	mkClient := func(user string) *cosoft.Client {
+		conn, err := net.Dial("tcp", lis.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wreg := cosoft.NewRegistry()
+		cosoft.MustBuild(wreg, "/", spec.String())
+		c, err := client.New(conn, client.Options{
+			AppType: "bench", User: user, Host: "bench", Registry: wreg,
+			RPCTimeout: 30 * time.Second, Batching: batching,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	origin := mkClient("origin")
+	defer origin.Close()
+	peer := mkClient("peer")
+	defer peer.Close()
+	if err := origin.Declare("/hub"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < fanWidth; i++ {
+		path := fmt.Sprintf("/m%d", i)
+		if err := peer.Declare(path); err != nil {
+			b.Fatal(err)
+		}
+		if err := origin.Couple("/hub", peer.Ref(path)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	vals := []attr.Value{attr.String("benchmark payload")}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := &widget.Event{Path: "/hub", Name: widget.EventChanged, Args: vals}
+		if _, err := experiments.DispatchRetry(origin, ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	stats := srv.Stats()
+	// Whether any single event's fan-out gets packed depends on how
+	// the writer goroutine races the state loop, so only a run long
+	// enough to average that out is gated (the framework's N=1
+	// discovery pass is not).
+	if gateCoalesced && b.N >= 50 && stats.AcksCoalesced == 0 {
+		b.Fatal("batched-on run never coalesced an ack")
+	}
+	bytesPerEvent := float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(b.N)
+	allocsPerEvent := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
+	b.ReportMetric(stats.EventRTT.P50, "p50-rtt-ns")
+	b.ReportMetric(stats.EventRTT.P99, "p99-rtt-ns")
+	b.ReportMetric(float64(stats.AcksCoalesced), "acks-coalesced")
+	b.ReportMetric(bytesPerEvent, "B/event")
+	b.ReportMetric(allocsPerEvent, "allocs/event")
+	writeBenchTrajectory(b, bench, reg, stats, map[string]float64{
+		"b_per_event":         bytesPerEvent,
+		"allocs_per_event":    allocsPerEvent,
+		"bytes_encoded":       float64(stats.BytesEncoded),
+		"body_pool_hits":      float64(stats.BodyPoolHits),
+		"body_pool_misses":    float64(stats.BodyPoolMisses),
+		"bytes_enc_per_event": float64(stats.BytesEncoded) / float64(b.N),
+	})
+}
+
+// discardConn is a net.Conn that swallows writes, so BenchmarkBroadcastEncode
+// can measure the server-side encode path alone.
+type discardConn struct{ net.Conn }
+
+func (discardConn) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkBroadcastEncode isolates the acceptance criterion of the
+// encode-once PR: allocations per broadcast event on the server's send path
+// must be independent of fan-out. One iteration encodes a shared Exec body
+// once and writes it to every member connection; the per-op allocation
+// count must stay flat from fan-out 1 to 512 (pooled body, per-conn scratch,
+// no per-member materialization).
+func BenchmarkBroadcastEncode(b *testing.B) {
+	origin := couple.ObjectRef{Instance: "bench", Path: "/hub"}
+	vals := []attr.Value{attr.String("benchmark payload")}
+	for _, fanout := range []int{1, 8, 64, 512} {
+		b.Run(fmt.Sprintf("fanout-%d", fanout), func(b *testing.B) {
+			conns := make([]*wire.Conn, fanout)
+			paths := make([]string, fanout)
+			for i := range conns {
+				conns[i] = wire.NewConn(discardConn{})
+				paths[i] = fmt.Sprintf("/m%d", i)
 			}
-			lis, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				b.Fatal(err)
-			}
-			srv := server.New(sopts)
-			go srv.Serve(lis)
-			defer srv.Close()
-			defer lis.Close()
-			mkClient := func(user string) *cosoft.Client {
-				conn, err := net.Dial("tcp", lis.Addr().String())
-				if err != nil {
-					b.Fatal(err)
-				}
-				wreg := cosoft.NewRegistry()
-				cosoft.MustBuild(wreg, "/", spec.String())
-				c, err := client.New(conn, client.Options{
-					AppType: "bench", User: user, Host: "bench", Registry: wreg,
-					RPCTimeout: 30 * time.Second, Batching: copts.Batching,
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				return c
-			}
-			origin := mkClient("origin")
-			defer origin.Close()
-			peer := mkClient("peer")
-			defer peer.Close()
-			if err := origin.Declare("/hub"); err != nil {
-				b.Fatal(err)
-			}
-			for i := 0; i < fanWidth; i++ {
-				path := fmt.Sprintf("/m%d", i)
-				if err := peer.Declare(path); err != nil {
-					b.Fatal(err)
-				}
-				if err := origin.Couple("/hub", peer.Ref(path)); err != nil {
-					b.Fatal(err)
-				}
-			}
-			vals := []attr.Value{attr.String("benchmark payload")}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ev := &widget.Event{Path: "/hub", Name: widget.EventChanged, Args: vals}
-				if _, err := experiments.DispatchRetry(origin, ev); err != nil {
-					b.Fatal(err)
+				se := wire.NewSharedExec(uint64(i+1), "changed", vals, origin)
+				for j, c := range conns {
+					se.Ref()
+					o := wire.Outgoing{Shared: se, Target: paths[j]}
+					if err := c.WriteOutgoing(o); err != nil {
+						b.Fatal(err)
+					}
+					se.Release()
 				}
+				se.Release()
 			}
 			b.StopTimer()
-			stats := srv.Stats()
-			// Whether any single event's fan-out gets packed depends on how
-			// the writer goroutine races the state loop, so only a run long
-			// enough to average that out is gated (the framework's N=1
-			// discovery pass is not).
-			if mode == "batched-on" && b.N >= 50 && stats.AcksCoalesced == 0 {
-				b.Fatal("batched-on run never coalesced an ack")
+			if n := wire.LiveSharedBodies(); n != 0 {
+				b.Fatalf("leaked %d shared bodies", n)
 			}
-			b.ReportMetric(stats.EventRTT.P50, "p50-rtt-ns")
-			b.ReportMetric(stats.EventRTT.P99, "p99-rtt-ns")
-			b.ReportMetric(float64(stats.AcksCoalesced), "acks-coalesced")
-			writeBenchTrajectory(b, "BenchmarkEvent/"+mode, reg, stats)
 		})
 	}
 }
@@ -510,54 +594,40 @@ var trajectoryWritten = map[string]bool{}
 // writeBenchTrajectory appends the benchmark's metric snapshot to the
 // BENCH_obs.json trajectory at the repo root, so the perf history of
 // successive PRs is diffable. The file is a JSON array of rows; a legacy
-// single-object file is absorbed as the first row.
-func writeBenchTrajectory(b *testing.B, bench string, reg *obs.Registry, stats cosoft.ServerStats) {
+// single-object file is absorbed as the first row. An optional extras map
+// adds derived per-op measurements (B/event, allocs/event, …) to the row.
+func writeBenchTrajectory(b *testing.B, bench string, reg *obs.Registry, stats cosoft.ServerStats, extras ...map[string]float64) {
 	row := struct {
 		Bench    string                 `json:"bench"`
 		N        int                    `json:"n"`
 		EventRTT cosoft.MetricsSummary  `json:"event_rtt_ns"`
 		Snapshot cosoft.MetricsSnapshot `json:"snapshot"`
+		Extra    map[string]float64     `json:"extra,omitempty"`
 	}{
 		Bench:    bench,
 		N:        b.N,
 		EventRTT: stats.EventRTT,
 		Snapshot: reg.Snapshot(),
 	}
-	var rows []json.RawMessage
-	if prev, err := os.ReadFile("BENCH_obs.json"); err == nil {
-		trimmed := bytes.TrimSpace(prev)
-		if len(trimmed) > 0 && trimmed[0] == '[' {
-			if err := json.Unmarshal(trimmed, &rows); err != nil {
-				b.Fatalf("parse BENCH_obs.json: %v", err)
-			}
-		} else if len(trimmed) > 0 {
-			rows = append(rows, json.RawMessage(trimmed))
+	for _, m := range extras {
+		if row.Extra == nil {
+			row.Extra = map[string]float64{}
 		}
-	}
-	data, err := json.Marshal(row)
-	if err != nil {
-		b.Fatalf("marshal trajectory row: %v", err)
+		for k, v := range m {
+			row.Extra[k] = v
+		}
 	}
 	// The harness invokes a benchmark several times while calibrating N;
 	// each invocation writes. The final (largest-N) invocation wins: a
 	// trailing row this same process wrote for the same benchmark is
 	// replaced, while rows from earlier sessions always stay — the file is
 	// an append-only trajectory across PRs.
-	if n := len(rows); n > 0 && trajectoryWritten[bench] {
-		var last struct {
-			Bench string `json:"bench"`
-		}
-		if json.Unmarshal(rows[n-1], &last) == nil && last.Bench == bench {
-			rows = rows[:n-1]
-		}
+	replace := ""
+	if trajectoryWritten[bench] {
+		replace = bench
 	}
 	trajectoryWritten[bench] = true
-	rows = append(rows, data)
-	out, err := json.MarshalIndent(rows, "", "  ")
-	if err != nil {
-		b.Fatalf("marshal trajectory: %v", err)
-	}
-	if err := os.WriteFile("BENCH_obs.json", append(out, '\n'), 0o644); err != nil {
+	if err := benchio.AppendRow("BENCH_obs.json", row, replace); err != nil {
 		b.Fatalf("write BENCH_obs.json: %v", err)
 	}
 }

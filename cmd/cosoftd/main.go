@@ -54,6 +54,7 @@ func main() {
 	eventDeadline := flag.Duration("event-deadline", 0, "max wait for event acknowledgements before the group unlocks without the stragglers (0 = disabled)")
 	outboxLimit := flag.Int("outbox-limit", 0, "per-client outbox high-water mark; clients over it for more than a second are evicted (0 = unbounded)")
 	batchLimit := flag.Int("batch-limit", 0, "max envelopes packed into one Batch frame for batch-aware clients (0 or 1 = batching disabled)")
+	noEncodeOnce := flag.Bool("no-encode-once", false, "re-encode the Exec body per member on broadcast instead of sharing one encoded buffer (ablation; wire bytes are identical)")
 	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceBuffer, "causal-trace span ring size (0 = tracing disabled)")
 	flightDepth := flag.Int("flight-depth", obs.DefaultFlightDepth, "per-connection flight-recorder depth (0 = disabled)")
 	logLevel := flag.String("log-level", "", "structured log level: debug, info, warn or error (empty = logging disabled)")
@@ -62,13 +63,14 @@ func main() {
 
 	metrics := obs.NewRegistry()
 	opts := server.Options{
-		HistoryDepth:   *history,
-		OrderedLocking: *ordered,
-		Heartbeat:      *heartbeat,
-		EventDeadline:  *eventDeadline,
-		OutboxLimit:    *outboxLimit,
-		BatchLimit:     *batchLimit,
-		Metrics:        metrics,
+		HistoryDepth:      *history,
+		OrderedLocking:    *ordered,
+		Heartbeat:         *heartbeat,
+		EventDeadline:     *eventDeadline,
+		OutboxLimit:       *outboxLimit,
+		BatchLimit:        *batchLimit,
+		Metrics:           metrics,
+		DisableEncodeOnce: *noEncodeOnce,
 	}
 	if *verbose {
 		logger := log.New(os.Stderr, "cosoftd: ", log.LstdFlags|log.Lmicroseconds)

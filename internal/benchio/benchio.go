@@ -1,0 +1,52 @@
+// Package benchio maintains the BENCH_obs.json performance trajectory: an
+// append-only JSON array of benchmark rows accumulated across PRs, written
+// by the go-test benchmarks and the cosoft-load generator. Rows from earlier
+// sessions are never rewritten — the file is a history, not a report.
+package benchio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// AppendRow appends row to the JSON-array trajectory at path, creating the
+// file if needed and absorbing a legacy single-object file as the first row.
+//
+// When replaceTrailingBench is non-empty and the file's last row carries
+// that value in its "bench" field, the last row is replaced instead of
+// appended to: callers that write several times per process (the benchmark
+// framework's N-calibration reruns) pass their bench name on the second and
+// later writes so only the final measurement survives.
+func AppendRow(path string, row any, replaceTrailingBench string) error {
+	var rows []json.RawMessage
+	if prev, err := os.ReadFile(path); err == nil {
+		trimmed := bytes.TrimSpace(prev)
+		if len(trimmed) > 0 && trimmed[0] == '[' {
+			if err := json.Unmarshal(trimmed, &rows); err != nil {
+				return fmt.Errorf("parse %s: %w", path, err)
+			}
+		} else if len(trimmed) > 0 {
+			rows = append(rows, json.RawMessage(trimmed))
+		}
+	}
+	data, err := json.Marshal(row)
+	if err != nil {
+		return fmt.Errorf("marshal trajectory row: %w", err)
+	}
+	if n := len(rows); n > 0 && replaceTrailingBench != "" {
+		var last struct {
+			Bench string `json:"bench"`
+		}
+		if json.Unmarshal(rows[n-1], &last) == nil && last.Bench == replaceTrailingBench {
+			rows = rows[:n-1]
+		}
+	}
+	rows = append(rows, data)
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal trajectory: %w", err)
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

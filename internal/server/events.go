@@ -91,8 +91,16 @@ func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event, tc obs.TraceC
 		tc:      actx,
 	}
 	// Disable the locked objects at their instances, then broadcast the
-	// event for re-execution.
+	// event for re-execution. The member-independent suffix of the Exec body
+	// (Name, Args, Origin) is encoded once into a shared refcounted buffer;
+	// each member's outbox queues a reference and splices it in at flush, so
+	// the broadcast costs O(1) body encodes regardless of fan-out.
 	s.notifyLockChange(actx, members, true, source)
+	var se *wire.SharedExec
+	if !s.opts.DisableEncodeOnce {
+		se = wire.NewSharedExec(eventID, m.Name, m.Args, source)
+		s.mBytesEncoded.Add(uint64(se.TailLen()))
+	}
 	fanout := 0
 	for _, member := range members {
 		target, connected := s.clients[member.Instance]
@@ -104,18 +112,25 @@ func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event, tc obs.TraceC
 			execTC = s.tr.Point(actx, "server.exec_send", "server",
 				string(member.Instance)+" "+member.Path)
 		}
-		target.out.send(wire.Envelope{
-			Trace: execTC,
-			Msg: wire.Exec{
-				EventID:    eventID,
-				TargetPath: member.Path,
-				Name:       m.Name,
-				Args:       m.Args,
-				Origin:     source,
-			},
-		})
+		if se != nil {
+			target.out.sendShared(wire.Envelope{Trace: execTC}, member.Path, se)
+		} else {
+			target.out.send(wire.Envelope{
+				Trace: execTC,
+				Msg: wire.Exec{
+					EventID:    eventID,
+					TargetPath: member.Path,
+					Name:       m.Name,
+					Args:       m.Args,
+					Origin:     source,
+				},
+			})
+		}
 		fanout++
 		pe.waiting[member.Instance]++
+	}
+	if se != nil {
+		se.Release()
 	}
 	s.mExecsSent.Add(uint64(fanout))
 	s.mFanout.Observe(int64(fanout))

@@ -72,6 +72,11 @@ type Options struct {
 	// server.batch_size). Values above wire.MaxBatch are clamped; 0 or 1
 	// disables packing and every envelope goes out as its own frame.
 	BatchLimit int
+	// DisableEncodeOnce re-encodes the Exec body per member on broadcast
+	// instead of sharing one pooled encoded body across the whole fan-out —
+	// the ablation/benchmark switch for the encode-once path. The bytes on
+	// the wire are identical either way.
+	DisableEncodeOnce bool
 	// Metrics receives the server's counters, gauges and latency
 	// histograms. Nil means a private enabled registry (so Stats keeps
 	// working); pass obs.Disabled to remove all measurement cost.
@@ -135,6 +140,9 @@ type Server struct {
 	mResumes       *obs.Counter   // server.resumes: sessions reclaimed by token
 	mBatchSize     *obs.Histogram // server.batch_size: envelopes per packed Batch frame
 	mAcksCoalesced *obs.Counter   // server.acks_coalesced: ExecAcks that arrived inside a BatchAck
+	mBytesEncoded  *obs.Counter   // server.bytes_encoded: bytes serialized on the send path
+	mPoolHits      *obs.Counter   // wire.body_pool_hits: shared-body buffers reused from the pool
+	mPoolMisses    *obs.Counter   // wire.body_pool_misses: shared-body buffers freshly allocated
 
 	closeOnce sync.Once
 }
@@ -185,6 +193,16 @@ type Stats struct {
 	// outgoing Batch frame carried.
 	AcksCoalesced uint64
 	BatchSize     obs.Summary
+	// BytesEncoded counts every byte the server serialized on its send path:
+	// frame headers, per-member prefixes, plain bodies, and each shared
+	// broadcast body exactly once. With encode-once active it grows ~Nx
+	// slower at fan-out N than with per-member encoding.
+	BytesEncoded uint64
+	// BodyPoolHits/BodyPoolMisses count shared-body buffers reused from vs.
+	// missing in the process-wide pool. The pool is shared across servers in
+	// one process, so these are best-effort when several servers coexist.
+	BodyPoolHits   uint64
+	BodyPoolMisses uint64
 	// PendingEvents is the number of broadcast events still awaiting Exec
 	// acknowledgements (should return to zero at quiescence).
 	PendingEvents int
@@ -261,7 +279,11 @@ func New(opts Options) *Server {
 		mResumes:       metrics.Counter("server.resumes"),
 		mBatchSize:     metrics.Histogram("server.batch_size"),
 		mAcksCoalesced: metrics.Counter("server.acks_coalesced"),
+		mBytesEncoded:  metrics.Counter("server.bytes_encoded"),
+		mPoolHits:      metrics.Counter("wire.body_pool_hits"),
+		mPoolMisses:    metrics.Counter("wire.body_pool_misses"),
 	}
+	wire.InstrumentBodyPool(s.mPoolHits, s.mPoolMisses)
 	s.locks.Instrument(s.mLockAttempts, metrics.Counter("lock.group_failures"), s.mLockUndone)
 	s.locks.TraceWith(opts.Tracer)
 	s.wg.Add(1)
@@ -384,6 +406,9 @@ func (s *Server) Stats() Stats {
 			Resumes:          s.mResumes.Value(),
 			AcksCoalesced:    s.mAcksCoalesced.Value(),
 			BatchSize:        s.mBatchSize.Summary(),
+			BytesEncoded:     s.mBytesEncoded.Value(),
+			BodyPoolHits:     s.mPoolHits.Value(),
+			BodyPoolMisses:   s.mPoolMisses.Value(),
 			PendingEvents:    len(s.pendingEvents),
 		}
 	}) {
@@ -400,6 +425,7 @@ func (s *Server) Permissions() *perm.Table { return s.perms }
 // be Register (fresh instance) or Resume (reconnection presenting a session
 // token); afterwards messages are posted to the state loop.
 func (s *Server) handleConn(c *wire.Conn) {
+	c.CountEncodedBytes(s.mBytesEncoded)
 	env, err := c.Read()
 	if err != nil {
 		c.Close()
@@ -595,7 +621,7 @@ func flightNote(m wire.Message) string {
 type outbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []wire.Envelope
+	queue  []wire.Outgoing
 	closed bool
 	done   chan struct{}
 	depth  *obs.Gauge          // shared across outboxes: total server backlog
@@ -640,8 +666,11 @@ func newOutbox(c *wire.Conn, depth *obs.Gauge, limit, batchLimit int, batchSize 
 			err := o.flush(c, take)
 			o.mu.Lock()
 			if err != nil {
-				// Connection broken; drop remaining output.
+				// Connection broken; drop remaining output. flush released
+				// the shared bodies of everything it took, so only the
+				// still-queued records hold references here.
 				o.depth.Add(-int64(o.inflight + len(o.queue)))
+				releaseOutgoing(o.queue)
 				o.inflight = 0
 				o.queue = nil
 				o.closed = true
@@ -659,22 +688,26 @@ func newOutbox(c *wire.Conn, depth *obs.Gauge, limit, batchLimit int, batchSize 
 }
 
 // flush writes one drained backlog. For a batch-aware peer, runs of queued
-// envelopes are packed into Batch frames of up to batchLimit records each;
-// otherwise (or when packing is disabled) every envelope goes out as its
-// own frame. Either way the envelopes reach the wire in queue order.
-func (o *outbox) flush(c *wire.Conn, envs []wire.Envelope) error {
-	for len(envs) > 0 {
+// records are packed into Batch frames of up to batchLimit records each;
+// otherwise (or when packing is disabled) every record goes out as its own
+// frame. Either way the records reach the wire in queue order, and shared
+// broadcast bodies are spliced in by reference rather than re-encoded. Every
+// record flush takes is released exactly once — after its frame is written,
+// or on the error path — so eviction or a broken connection can never leak
+// or double-release a shared body.
+func (o *outbox) flush(c *wire.Conn, recs []wire.Outgoing) error {
+	for len(recs) > 0 {
 		n := 1
-		if o.batchLimit > 1 && len(envs) > 1 && c.BatchAware() {
-			n = min(len(envs), o.batchLimit)
+		if o.batchLimit > 1 && len(recs) > 1 && c.BatchAware() {
+			n = min(len(recs), o.batchLimit)
 		}
 		var err error
 		for {
 			if n == 1 {
-				err = c.Write(envs[0])
+				err = c.WriteOutgoing(recs[0])
 				break
 			}
-			err = c.Write(wire.Envelope{Msg: wire.Batch{Envelopes: envs[:n]}})
+			err = c.WriteBatch(recs[:n])
 			if !errors.Is(err, wire.ErrFrameTooLarge) {
 				if err == nil {
 					o.batchSize.Observe(int64(n))
@@ -682,12 +715,15 @@ func (o *outbox) flush(c *wire.Conn, envs []wire.Envelope) error {
 				break
 			}
 			// The packed body overflowed MaxFrame even though each envelope
-			// fits on its own (Write rejects oversized frames before touching
-			// the wire, so nothing was sent). Halve the run and retry rather
-			// than tearing down a connection the unbatched path would serve.
+			// fits on its own (WriteBatch rejects oversized frames before
+			// touching the wire, so nothing was sent). Halve the run and
+			// retry rather than tearing down a connection the unbatched path
+			// would serve.
 			n /= 2
 		}
+		releaseOutgoing(recs[:n])
 		if err != nil {
+			releaseOutgoing(recs[n:])
 			return err
 		}
 		o.depth.Add(-int64(n))
@@ -700,15 +736,43 @@ func (o *outbox) flush(c *wire.Conn, envs []wire.Envelope) error {
 			o.overSince = time.Time{}
 		}
 		o.mu.Unlock()
-		envs = envs[n:]
+		recs = recs[n:]
 	}
 	return nil
 }
 
+// releaseOutgoing drops the shared-body reference of every record that holds
+// one, exactly once: released entries are nilled so overlapping error paths
+// cannot release twice.
+func releaseOutgoing(recs []wire.Outgoing) {
+	for i := range recs {
+		if recs[i].Shared != nil {
+			recs[i].Shared.Release()
+			recs[i].Shared = nil
+		}
+	}
+}
+
 func (o *outbox) send(env wire.Envelope) {
+	o.enqueue(wire.Outgoing{Env: env})
+}
+
+// sendShared queues one member's frame of an encode-once broadcast: env
+// carries the correlation numbers and trace context (its Msg stays nil — the
+// Exec is never materialized on the hot path), target the member's path, se
+// the shared body suffix. The outbox takes its own reference — the caller
+// must still hold one, and releases it when done enqueueing.
+func (o *outbox) sendShared(env wire.Envelope, target string, se *wire.SharedExec) {
+	o.enqueue(wire.Outgoing{Env: env, Shared: se, Target: target})
+}
+
+func (o *outbox) enqueue(rec wire.Outgoing) {
 	o.mu.Lock()
 	if !o.closed {
-		o.queue = append(o.queue, env)
+		if rec.Shared != nil {
+			rec.Shared.Ref()
+		}
+		o.queue = append(o.queue, rec)
 		o.depth.Add(1)
 		if o.limit > 0 && o.inflight+len(o.queue) > o.limit && o.overSince.IsZero() {
 			o.overSince = time.Now()
@@ -717,7 +781,9 @@ func (o *outbox) send(env wire.Envelope) {
 	}
 	o.mu.Unlock()
 	if o.onSend != nil {
-		o.onSend(env)
+		// Only the flight recorder needs the decoded message; Envelope
+		// materializes the member's Exec on demand for shared records.
+		o.onSend(rec.Envelope())
 	}
 }
 

@@ -89,12 +89,35 @@ type Envelope struct {
 	Msg Message
 }
 
+// maxConnScratch caps the capacity of the per-conn encode buffers retained
+// between writes, so one oversized frame does not pin its buffer forever.
+const maxConnScratch = 64 << 10
+
 // Conn wraps a stream connection with framing and concurrent-safe writes.
 // Reads must be performed by a single goroutine.
 type Conn struct {
 	wmu  sync.Mutex
 	rw   *bufio.ReadWriter
 	conn net.Conn
+
+	// scratch is the reusable frame-encode buffer; scratch2 stages Batch
+	// record bodies (whose length prefixes the bytes). Both are guarded by
+	// wmu and shed oversized capacity after use.
+	scratch  []byte
+	scratch2 []byte
+	// vec and cuts are the reusable vectored-write assembly for shared-body
+	// frames; vecw is the consumable copy WriteTo advances (a field so the
+	// header does not escape per write); coalesce flattens the assembly into
+	// one Write on transports without writev support (all guarded by wmu).
+	vec      net.Buffers
+	vecw     net.Buffers
+	cuts     []bodyCut
+	coalesce []byte
+
+	// encoded, when non-nil, accumulates the bytes this Conn serialized
+	// (frame headers and bodies, excluding shared-body suffixes it spliced
+	// in without encoding). Set it before the Conn is written concurrently.
+	encoded *obs.Counter
 
 	// sendTrace is the local opt-in (connection initiators call EnableTrace
 	// before speaking); peerTrace latches once the peer sends a traced
@@ -107,6 +130,13 @@ type Conn struct {
 	// peer's flag latches on Read. Either one licenses Batch frames.
 	sendBatch atomic.Bool
 	peerBatch atomic.Bool
+}
+
+// bodyCut marks where a shared-body suffix splices into the contiguous
+// scratch bytes of a frame under assembly.
+type bodyCut struct {
+	off  int    // scratch offset the tail is inserted at
+	tail []byte // the shared suffix bytes
 }
 
 // NewConn wraps a net.Conn. The caller retains responsibility for closing.
@@ -145,48 +175,243 @@ func (c *Conn) Close() error { return c.conn.Close() }
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
 
-// Write encodes and sends one envelope. It is safe for concurrent use.
+// CountEncodedBytes routes the byte count of everything this Conn encodes
+// (frame headers and bodies; spliced-in shared suffixes are excluded, they
+// were counted when first encoded) into ctr. Call before the Conn is
+// written concurrently; a nil counter (the default) disables counting.
+func (c *Conn) CountEncodedBytes(ctr *obs.Counter) { c.encoded = ctr }
+
+// outFlags computes the type field of an outgoing frame: the message type
+// decorated with the trace flag (an opted-in side flags every frame — even
+// context-free ones, whose IDs encode as two zero bytes — so the peer learns
+// the capability from the very first frame; a side that only detected the
+// peer flags just the frames that actually carry context) and the batch
+// capability bit.
+func (c *Conn) outFlags(t Type, tc obs.TraceContext) (raw uint16, traced bool) {
+	traced = c.sendTrace.Load() || (c.peerTrace.Load() && tc.Trace != 0)
+	raw = uint16(t)
+	if traced {
+		raw |= traceFlag
+	}
+	if c.sendBatch.Load() {
+		raw |= batchFlag
+	}
+	return raw, traced
+}
+
+// appendFrameHeader appends the envelope header after the (already
+// reserved) length prefix: type word, correlation numbers, trace context.
+func appendFrameHeader(buf []byte, raw uint16, traced bool, env Envelope) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, raw)
+	buf = binary.AppendUvarint(buf, env.Seq)
+	buf = binary.AppendUvarint(buf, env.RefSeq)
+	if traced {
+		buf = binary.AppendUvarint(buf, uint64(env.Trace.Trace))
+		buf = binary.AppendUvarint(buf, uint64(env.Trace.Span))
+	}
+	return buf
+}
+
+// keepScratch retains buf as the conn's reusable encode buffer unless it
+// grew past the retention cap.
+func keepScratch(slot *[]byte, buf []byte) {
+	if cap(buf) > maxConnScratch {
+		*slot = nil
+		return
+	}
+	*slot = buf[:0]
+}
+
+// Write encodes and sends one envelope. It is safe for concurrent use. The
+// frame is encoded into a per-conn scratch buffer reused across writes, so
+// steady-state traffic allocates nothing.
 func (c *Conn) Write(env Envelope) error {
 	if env.Msg == nil {
 		return errors.New("wire: nil message")
 	}
-	// An opted-in side flags every frame — even context-free ones (the IDs
-	// encode as two zero bytes) — so the peer learns the capability from the
-	// very first frame, before any traced traffic exists. A side that only
-	// detected the peer flags just the frames that actually carry context.
-	traced := c.sendTrace.Load() || (c.peerTrace.Load() && env.Trace.Trace != 0)
-	t := uint16(env.Msg.MsgType())
-	if traced {
-		t |= traceFlag
-	}
-	if c.sendBatch.Load() {
-		t |= batchFlag
-	}
-	body := make([]byte, 0, 64)
-	body = binary.LittleEndian.AppendUint16(body, t)
-	body = binary.AppendUvarint(body, env.Seq)
-	body = binary.AppendUvarint(body, env.RefSeq)
-	if traced {
-		body = binary.AppendUvarint(body, uint64(env.Trace.Trace))
-		body = binary.AppendUvarint(body, uint64(env.Trace.Span))
-	}
-	body = env.Msg.encode(body)
-	if len(body) > MaxFrame {
-		return ErrFrameTooLarge
-	}
-	var lenbuf [4]byte
-	binary.LittleEndian.PutUint32(lenbuf[:], uint32(len(body)))
+	raw, traced := c.outFlags(env.Msg.MsgType(), env.Trace)
 
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if _, err := c.rw.Write(lenbuf[:]); err != nil {
-		return fmt.Errorf("wire: write frame length: %w", err)
+	frame := append(c.scratch[:0], 0, 0, 0, 0) // length prefix, patched below
+	frame = appendFrameHeader(frame, raw, traced, env)
+	frame = env.Msg.encode(frame)
+	keepScratch(&c.scratch, frame)
+	n := len(frame) - 4
+	if n > MaxFrame {
+		return ErrFrameTooLarge
 	}
-	if _, err := c.rw.Write(body); err != nil {
-		return fmt.Errorf("wire: write frame body: %w", err)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(n))
+	if _, err := c.rw.Write(frame); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	if err := c.rw.Flush(); err != nil {
 		return fmt.Errorf("wire: flush: %w", err)
+	}
+	c.encoded.Add(uint64(n))
+	return nil
+}
+
+// WriteOutgoing sends one queued record. A record without a shared body is
+// a plain Write; one with a shared body is framed as [header+head][shared
+// suffix] and flushed with a vectored write, so the suffix bytes are neither
+// re-encoded nor copied. Either way the bytes on the wire are identical to
+// Write(o.Env).
+func (c *Conn) WriteOutgoing(o Outgoing) error {
+	if o.Shared == nil {
+		return c.Write(o.Env)
+	}
+	raw, traced := c.outFlags(TExec, o.Env.Trace)
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	head := append(c.scratch[:0], 0, 0, 0, 0)
+	head = appendFrameHeader(head, raw, traced, o.Env)
+	head = o.Shared.appendHead(head, o.Target)
+	keepScratch(&c.scratch, head)
+	tail := o.Shared.tail()
+	n := len(head) - 4 + len(tail)
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	binary.LittleEndian.PutUint32(head[:4], uint32(n))
+	if err := c.writeVectored(append(c.vec[:0], head, tail)); err != nil {
+		return err
+	}
+	c.encoded.Add(uint64(len(head) - 4))
+	return nil
+}
+
+// WriteBatch packs a run of records into one Batch frame, byte-identical to
+// Write(Envelope{Msg: Batch{Envelopes: materialized}}) but with every shared
+// body suffix spliced in by reference: the contiguous parts (outer header,
+// record headers, per-member heads, plain bodies) are encoded into scratch
+// and the suffixes are scatter-gathered between them with net.Buffers. A
+// run whose packed body would exceed MaxFrame is rejected with
+// ErrFrameTooLarge before anything reaches the wire, so callers can split
+// and retry.
+func (c *Conn) WriteBatch(recs []Outgoing) error {
+	if len(recs) == 0 {
+		return errors.New("wire: empty batch")
+	}
+	if len(recs) > MaxBatch {
+		return errors.New("wire: batch too long")
+	}
+	// The outer envelope is fire-and-forget and never carries context of its
+	// own (each record keeps its own), matching the materialized form.
+	raw, traced := c.outFlags(TBatch, obs.TraceContext{})
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	buf := append(c.scratch[:0], 0, 0, 0, 0)
+	buf = appendFrameHeader(buf, raw, traced, Envelope{})
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	cuts := c.cuts[:0]
+	spliced := 0
+	for i := range recs {
+		env := &recs[i].Env
+		se := recs[i].Shared
+		var it uint16
+		if se != nil {
+			it = uint16(TExec)
+		} else if env.Msg != nil {
+			it = uint16(env.Msg.MsgType())
+		} else {
+			keepScratch(&c.scratch, buf)
+			c.cuts = cuts[:0]
+			return errors.New("wire: nil message in batch")
+		}
+		// Inner records flag trace context by presence, independent of the
+		// connection's negotiation — exactly as Batch.encode does.
+		rt := env.Trace.Trace != 0 || env.Trace.Span != 0
+		if rt {
+			it |= traceFlag
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, it)
+		buf = binary.AppendUvarint(buf, env.Seq)
+		buf = binary.AppendUvarint(buf, env.RefSeq)
+		if rt {
+			buf = binary.AppendUvarint(buf, uint64(env.Trace.Trace))
+			buf = binary.AppendUvarint(buf, uint64(env.Trace.Span))
+		}
+		if se != nil {
+			target := recs[i].Target
+			buf = binary.AppendUvarint(buf, uint64(se.headLen(target)+se.TailLen()))
+			buf = se.appendHead(buf, target)
+			cuts = append(cuts, bodyCut{off: len(buf), tail: se.tail()})
+			spliced += se.TailLen()
+		} else {
+			body := env.Msg.encode(c.scratch2[:0])
+			keepScratch(&c.scratch2, body)
+			buf = binary.AppendUvarint(buf, uint64(len(body)))
+			buf = append(buf, body...)
+		}
+	}
+	keepScratch(&c.scratch, buf)
+	c.cuts = cuts[:0]
+	n := len(buf) - 4 + spliced
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(n))
+
+	// Assemble the vectored write: contiguous scratch runs interleaved with
+	// the shared suffixes, in wire order. buf is complete — no append moves
+	// it — so the sub-slices stay valid.
+	bufs := c.vec[:0]
+	prev := 0
+	for _, cut := range cuts {
+		bufs = append(bufs, buf[prev:cut.off], cut.tail)
+		prev = cut.off
+	}
+	if prev < len(buf) {
+		bufs = append(bufs, buf[prev:])
+	}
+	if err := c.writeVectored(bufs); err != nil {
+		return err
+	}
+	c.encoded.Add(uint64(len(buf) - 4))
+	return nil
+}
+
+// vectoredConn reports whether conn supports true scatter-gather writes
+// (writev). On anything else net.Buffers.WriteTo degrades to one Write call
+// per span, which would break transports that treat each Write as one frame
+// — faultnet's per-write fault injection and similar test wrappers — by
+// letting a dropped or duplicated "frame" be half of a real one.
+func vectoredConn(conn net.Conn) bool {
+	switch conn.(type) {
+	case *net.TCPConn, *net.UnixConn:
+		return true
+	}
+	return false
+}
+
+// writeVectored flushes any buffered output, then writes the assembled
+// spans directly to the underlying connection: one vectored write (writev)
+// on TCP, or one coalesced Write on transports without writev so the
+// frame-per-Write invariant holds everywhere. Callers must hold wmu and
+// build bufs from c.vec[:0]; the backing array is retained for the next
+// frame while WriteTo consumes bufs itself.
+func (c *Conn) writeVectored(bufs net.Buffers) error {
+	c.vec = bufs[:0]
+	if err := c.rw.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	if !vectoredConn(c.conn) {
+		flat := c.coalesce[:0]
+		for _, b := range bufs {
+			flat = append(flat, b...)
+		}
+		keepScratch(&c.coalesce, flat)
+		if _, err := c.conn.Write(flat); err != nil {
+			return fmt.Errorf("wire: write frame: %w", err)
+		}
+		return nil
+	}
+	c.vecw = bufs
+	if _, err := c.vecw.WriteTo(c.conn); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }
