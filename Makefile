@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet verify bench chaos load-smoke
+.PHONY: all build test race vet verify bench chaos chaos-sharded load-smoke
 
 all: verify
 
@@ -32,6 +32,13 @@ verify: vet race
 chaos:
 	$(GO) test -race -run Chaos -count=3 ./...
 	COSOFT_BATCH_LIMIT=8 $(GO) test -race -run Chaos -count=3 ./...
+
+# The same soak with four state shards forced on every harness server, so
+# fault injection also exercises cross-shard cleanup (dropClient fan-out,
+# migrated pending events) under the race detector. CI runs this as a
+# second matrix leg.
+chaos-sharded:
+	COSOFT_SHARDS=4 $(MAKE) chaos
 
 # Regenerates BENCH_obs.json (the metrics trajectory) along with the paper
 # benchmarks.

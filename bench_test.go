@@ -335,6 +335,110 @@ func BenchmarkEvent(b *testing.B) {
 			fanoutBench(b, "BenchmarkEvent/"+mode, sopts, true, false)
 		})
 	}
+
+	// The shards pair measures per-group parallelism: eight independent
+	// coupling groups driven concurrently, first against the classic single
+	// state loop and then with the group-scoped state partitioned across
+	// four shard loops. Groups never share locks, history or pending
+	// events, so on a multi-core host the sharded variant's throughput
+	// should approach min(4, GOMAXPROCS)× the single-loop row; the
+	// trajectory rows carry num_cpu so a one-core CI runner's flat result
+	// is not mistaken for a regression.
+	for _, mode := range []string{"shards-1", "shards-4"} {
+		nshards := 1
+		if mode == "shards-4" {
+			nshards = 4
+		}
+		b.Run(mode, func(b *testing.B) {
+			multiGroupBench(b, "BenchmarkEvent/"+mode, nshards)
+		})
+	}
+}
+
+// multiGroupBench runs one BenchmarkEvent shards variant: groupCount
+// independent origin↔member pairs over real loopback TCP, every origin
+// dispatching its share of b.N events from its own goroutine so the server
+// sees all groups contending at once.
+func multiGroupBench(b *testing.B, bench string, shards int) {
+	const groupCount = 8
+	var spec strings.Builder
+	for g := 0; g < groupCount; g++ {
+		fmt.Fprintf(&spec, "textfield g%d value=\"\"\n", g)
+	}
+	reg := obs.NewRegistry()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(server.Options{Shards: shards, Metrics: reg})
+	go srv.Serve(lis)
+	defer srv.Close()
+	defer lis.Close()
+	mkClient := func(user string) *cosoft.Client {
+		conn, err := net.Dial("tcp", lis.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wreg := cosoft.NewRegistry()
+		cosoft.MustBuild(wreg, "/", spec.String())
+		c, err := client.New(conn, client.Options{
+			AppType: "bench", User: user, Host: "bench", Registry: wreg,
+			RPCTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	origins := make([]*cosoft.Client, groupCount)
+	for g := 0; g < groupCount; g++ {
+		path := fmt.Sprintf("/g%d", g)
+		origins[g] = mkClient(fmt.Sprintf("origin%d", g))
+		defer origins[g].Close()
+		member := mkClient(fmt.Sprintf("member%d", g))
+		defer member.Close()
+		if err := origins[g].Declare(path); err != nil {
+			b.Fatal(err)
+		}
+		if err := member.Declare(path); err != nil {
+			b.Fatal(err)
+		}
+		if err := origins[g].Couple(path, member.Ref(path)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	vals := []attr.Value{attr.String("benchmark payload")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < groupCount; g++ {
+		n := b.N / groupCount
+		if g < b.N%groupCount {
+			n++
+		}
+		wg.Add(1)
+		go func(g, n int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/g%d", g)
+			for i := 0; i < n; i++ {
+				ev := &widget.Event{Path: path, Name: widget.EventChanged, Args: vals}
+				if _, err := experiments.DispatchRetry(origins[g], ev); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(g, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	stats := srv.Stats()
+	b.ReportMetric(stats.EventRTT.P50, "p50-rtt-ns")
+	b.ReportMetric(stats.EventRTT.P99, "p99-rtt-ns")
+	writeBenchTrajectory(b, bench, reg, stats, map[string]float64{
+		"shards":  float64(shards),
+		"groups":  groupCount,
+		"num_cpu": float64(runtime.NumCPU()),
+	})
 }
 
 // fanoutBench runs one BenchmarkEvent fan-out variant: one hub object on the

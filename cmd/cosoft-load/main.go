@@ -17,7 +17,8 @@
 //
 //	cosoft-load [-groups 2] [-group-size 64] [-duration 5s] [-events 0]
 //	            [-rate 0] [-payload 24] [-batch-limit 32] [-batching]
-//	            [-no-encode-once] [-faultnet "dup=0.01,delay=1ms,jitter=1ms"]
+//	            [-shards 1] [-no-encode-once]
+//	            [-faultnet "dup=0.01,delay=1ms,jitter=1ms"]
 //	            [-addr host:port] [-bench-out BENCH_obs.json] [-v]
 //
 // The summary row reports per-group-aggregated p50/p99 dispatch RTT (origin
@@ -61,6 +62,7 @@ func main() {
 		payload      = flag.Int("payload", 24, "event payload size in bytes")
 		batchLimit   = flag.Int("batch-limit", 32, "in-process server batch limit (0 or 1 = batching disabled)")
 		batching     = flag.Bool("batching", true, "clients opt into the wire batch extension")
+		shards       = flag.Int("shards", 1, "in-process server shard count: per-coupling-group state loops (1 = classic single loop)")
 		noEncodeOnce = flag.Bool("no-encode-once", false, "in-process server re-encodes the Exec body per member (ablation)")
 		faultSpec    = flag.String("faultnet", "", `faultnet profile for in-process server conns, e.g. "drop=0.01,dup=0.01,dropnth=0,delay=1ms,jitter=1ms,seed=1"`)
 		benchOut     = flag.String("bench-out", "", "append a row to this BENCH_obs.json trajectory (empty = report only)")
@@ -74,7 +76,8 @@ func main() {
 	if err := run(config{
 		addr: *addr, groups: *groups, groupSize: *groupSize,
 		duration: *duration, events: *events, rate: *rate, payload: *payload,
-		batchLimit: *batchLimit, batching: *batching, noEncodeOnce: *noEncodeOnce,
+		batchLimit: *batchLimit, batching: *batching, shards: *shards,
+		noEncodeOnce: *noEncodeOnce,
 		faultSpec: *faultSpec, benchOut: *benchOut, verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "cosoft-load: %v\n", err)
@@ -92,6 +95,7 @@ type config struct {
 	payload      int
 	batchLimit   int
 	batching     bool
+	shards       int
 	noEncodeOnce bool
 	faultSpec    string
 	benchOut     string
@@ -121,6 +125,7 @@ func run(cfg config) error {
 		reg = obs.NewRegistry()
 		srv = server.New(server.Options{
 			BatchLimit:        cfg.batchLimit,
+			Shards:            cfg.shards,
 			DisableEncodeOnce: cfg.noEncodeOnce,
 			Metrics:           reg,
 		})
@@ -307,6 +312,8 @@ func run(cfg config) error {
 		"events_per_sec": eps,
 		"p50_rtt_ns":     float64(p50.Nanoseconds()),
 		"p99_rtt_ns":     float64(p99.Nanoseconds()),
+		"shards":         float64(cfg.shards),
+		"num_cpu":        float64(runtime.NumCPU()),
 	}
 	var stats server.Stats
 	if srv != nil {

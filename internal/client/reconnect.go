@@ -170,6 +170,17 @@ func (c *Client) resync() {
 		}
 	}
 
+	// The resume consumed the session token (tokens are single-use at the
+	// server), so mint a replacement first: a subsequent disconnect must
+	// still be resumable.
+	if tok, err := c.sessionToken(); err != nil {
+		fail(fmt.Errorf("re-mint session token: %w", err))
+	} else {
+		c.mu.Lock()
+		c.token = tok
+		c.mu.Unlock()
+	}
+
 	c.mu.Lock()
 	paths := make([]string, 0, len(c.declared))
 	classes := make(map[string]string, len(c.declared))

@@ -231,6 +231,23 @@ func (g *Graph) LinksOf(o ObjectRef) []Link {
 	return out
 }
 
+// InstanceLinks returns the links incident to any object of the instance in
+// deterministic order — exactly the set RemoveInstance would remove — without
+// removing them. Callers use it to snapshot the affected groups before the
+// removal actually splits them.
+func (g *Graph) InstanceLinks(id InstanceID) []Link {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Link
+	for l := range g.links {
+		if l.From.Instance == id || l.To.Instance == id {
+			out = append(out, l)
+		}
+	}
+	sortLinks(out)
+	return out
+}
+
 // Groups returns every coupling group with at least two members, in
 // deterministic order.
 func (g *Graph) Groups() [][]ObjectRef {

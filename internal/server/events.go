@@ -32,24 +32,38 @@ type pendingEvent struct {
 	// timer fires the event deadline (nil when deadlines are disabled). It
 	// is stopped when the event resolves normally.
 	timer *time.Timer
+	// migrated marks an event carried to another shard by a group
+	// migration; its router forwarding entry is cleared on resolution.
+	migrated bool
 }
 
 // handleEvent implements the multiple-execution algorithm of §3.2. The
 // originating client has already applied the event's built-in feedback
 // locally; the server locks CO(o), broadcasts Exec to every coupled member,
-// and tells the origin whether to keep or undo its feedback.
+// and tells the origin whether to keep or undo its feedback. It runs on sh's
+// loop — the shard owning the source object's coupling group.
 //
 // tc is the trace context the Event envelope carried (the origin's
 // "client.event_send" span); every hop recorded here descends from it.
-func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event, tc obs.TraceContext) {
+func (s *Server) handleEvent(sh *shard, cl *client, seq uint64, m wire.Event, tc obs.TraceContext) {
+	source := couple.ObjectRef{Instance: cl.id, Path: m.Path}
+	if s.sharded {
+		// Ownership recheck: the group may have migrated between the read
+		// goroutine's routing decision and this closure running. Forward to
+		// the current owner rather than touching the wrong shard's state.
+		if own := s.shardForRef(source); own != sh {
+			s.postShard(own, func() { s.handleEvent(own, cl, seq, m, tc) })
+			return
+		}
+	}
 	s.mEvents.Inc()
+	sh.mEvents.Inc()
 	start := s.mEventRTT.Start()
 	arrival := s.tr.StartSpan(tc, "server.event_arrival", "server")
 	if arrival.Active() {
 		arrival.SetNote(m.Path + " " + m.Name)
 	}
 	actx := arrival.Context()
-	source := couple.ObjectRef{Instance: cl.id, Path: m.Path}
 	members := s.graph.CO(source)
 	if len(members) == 0 {
 		// Uncoupled object: nothing to synchronize; the local feedback
@@ -63,10 +77,14 @@ func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event, tc obs.TraceC
 		return
 	}
 
-	s.nextEventID++
-	eventID := s.nextEventID
+	// Event IDs interleave across shards: shard i allocates i+1, i+1+N,
+	// i+1+2N, … so IDs stay globally unique, the birth shard is recoverable
+	// as (id-1) mod N, and a single shard counts 1,2,3… exactly as the
+	// unsharded server did.
+	sh.seq++
+	eventID := (sh.seq-1)*uint64(len(s.shards)) + uint64(sh.idx) + 1
 	owner := lock.Owner{Instance: cl.id, Seq: eventID}
-	ok, _ := s.lockGroup(actx, members, owner)
+	ok, _ := s.lockGroup(sh.locks, actx, members, owner)
 	if !ok {
 		// Lock failed: the origin must undo the event's syntactic feedback.
 		s.mLockFails.Inc()
@@ -103,7 +121,7 @@ func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event, tc obs.TraceC
 	}
 	fanout := 0
 	for _, member := range members {
-		target, connected := s.clients[member.Instance]
+		target, connected := s.clientOf(member.Instance)
 		if !connected {
 			continue
 		}
@@ -142,15 +160,16 @@ func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event, tc obs.TraceC
 	arrival.End()
 	if len(pe.waiting) == 0 {
 		// All members belonged to disconnected instances.
-		s.unlockEvent(pe)
+		s.unlockEvent(sh, pe, false)
 		return
 	}
-	s.pendingEvents[eventID] = pe
+	sh.pending[eventID] = pe
 	if d := s.opts.EventDeadline; d > 0 {
-		// AfterFunc posts back to the state loop; post refuses after Close,
-		// so a late firing is harmless.
+		// AfterFunc posts back to the birth shard's loop; post refuses after
+		// Close, so a late firing is harmless, and if the event migrated the
+		// miss-forward in timeoutEvent chases it.
 		pe.timer = time.AfterFunc(d, func() {
-			s.post(func() { s.timeoutEvent(eventID) })
+			s.postShard(sh, func() { s.timeoutEvent(sh, eventID) })
 		})
 	}
 }
@@ -158,10 +177,11 @@ func (s *Server) handleEvent(cl *client, seq uint64, m wire.Event, tc obs.TraceC
 // timeoutEvent resolves an event whose deadline expired before every member
 // acknowledged: the stragglers are dropped from the wait set and the group
 // unlocks, so one hung member cannot wedge the whole coupling group.
-func (s *Server) timeoutEvent(id uint64) {
-	pe, ok := s.pendingEvents[id]
+func (s *Server) timeoutEvent(sh *shard, id uint64) {
+	pe, ok := sh.pending[id]
 	if !ok {
-		return // resolved in the meantime
+		s.forwardEventMiss(sh, id, func(to *shard) { s.timeoutEvent(to, id) })
+		return
 	}
 	stragglers := make([]string, 0, len(pe.waiting))
 	for inst := range pe.waiting {
@@ -173,14 +193,7 @@ func (s *Server) timeoutEvent(id uint64) {
 	s.slog.Warn("event deadline expired",
 		"event_id", id, "origin", string(pe.origin), "path", pe.source.Path,
 		"stragglers", strings.Join(stragglers, " "), "trace", pe.tc.Trace)
-	s.finishEvent(id, pe)
-}
-
-// handleExecAck records one member instance's completion of an Exec. tc is
-// the context the ExecAck envelope carried (the member's "client.exec_apply"
-// span), so the ack point descends from the member's re-execution.
-func (s *Server) handleExecAck(cl *client, m wire.ExecAck, tc obs.TraceContext) {
-	s.ackExec(cl, m.EventID, tc)
+	s.finishEvent(sh, id, pe, true)
 }
 
 // handleBatchAck resolves a coalesced run of Exec acknowledgements. Each
@@ -188,19 +201,26 @@ func (s *Server) handleExecAck(cl *client, m wire.ExecAck, tc obs.TraceContext) 
 // run entry by entry is identical to receiving the same ExecAcks singly —
 // including the stale-ack tolerance: an entry for an event already resolved
 // by a deadline or disconnect is skipped without disturbing its batch-mates.
-func (s *Server) handleBatchAck(cl *client, m wire.BatchAck) {
+// (Sharded servers split BatchAcks per birth shard in dispatchEnv and never
+// reach this path.)
+func (s *Server) handleBatchAck(sh *shard, cl *client, m wire.BatchAck) {
 	s.mAcksCoalesced.Add(uint64(len(m.Acks)))
 	for _, a := range m.Acks {
-		s.ackExec(cl, a.EventID, a.Trace)
+		s.ackExec(sh, cl, a.EventID, a.Trace)
 	}
 }
 
 // ackExec is the shared ack-resolution core: decrement cl's outstanding
-// count for the event and unlock the group when the wait set empties.
-func (s *Server) ackExec(cl *client, eventID uint64, tc obs.TraceContext) {
-	pe, ok := s.pendingEvents[eventID]
+// count for the event and unlock the group when the wait set empties. It
+// runs on the event's birth shard; if the event migrated with its group, the
+// ack is forwarded to the current owner.
+func (s *Server) ackExec(sh *shard, cl *client, eventID uint64, tc obs.TraceContext) {
+	pe, ok := sh.pending[eventID]
 	if !ok {
-		return // stale ack (event already resolved by a disconnect)
+		// Stale ack (event already resolved by a deadline or disconnect) —
+		// unless the event migrated, in which case chase it.
+		s.forwardEventMiss(sh, eventID, func(to *shard) { s.ackExec(to, cl, eventID, tc) })
+		return
 	}
 	if pe.waiting[cl.id] == 0 {
 		return // ack from an instance we were not waiting for
@@ -211,21 +231,44 @@ func (s *Server) ackExec(cl *client, eventID uint64, tc obs.TraceContext) {
 		delete(pe.waiting, cl.id)
 	}
 	if len(pe.waiting) == 0 {
-		s.finishEvent(eventID, pe)
+		s.finishEvent(sh, eventID, pe, false)
 	}
 }
 
-func (s *Server) finishEvent(id uint64, pe *pendingEvent) {
-	delete(s.pendingEvents, id)
+// forwardEventMiss re-posts an operation on a pending event that is not in
+// sh's map: a migrated event leaves a forwarding entry in the router until
+// it resolves. Without an entry the miss is final (stale ack / stale timer).
+func (s *Server) forwardEventMiss(sh *shard, id uint64, op func(*shard)) {
+	if !s.sharded {
+		return
+	}
+	if idx, ok := s.router.eventShard(id); ok && s.shards[idx] != sh {
+		to := s.shards[idx]
+		s.postShard(to, func() { op(to) })
+	}
+}
+
+func (s *Server) finishEvent(sh *shard, id uint64, pe *pendingEvent, timedOut bool) {
+	delete(sh.pending, id)
 	if pe.timer != nil {
 		pe.timer.Stop()
 	}
-	s.unlockEvent(pe)
+	if pe.migrated {
+		s.router.clearEvent(id)
+	}
+	s.unlockEvent(sh, pe, timedOut)
 }
 
-func (s *Server) unlockEvent(pe *pendingEvent) {
-	s.locks.UnlockGroup(pe.members, pe.owner)
+func (s *Server) unlockEvent(sh *shard, pe *pendingEvent, timedOut bool) {
+	sh.locks.UnlockGroup(pe.members, pe.owner)
 	s.tr.Point(pe.tc, "server.unlock", "server", "")
 	s.notifyLockChange(pe.tc, pe.members, false, pe.source)
-	s.mEventRTT.ObserveSince(pe.start)
+	// Deadline-resolved events waited the full deadline by construction;
+	// folding them into the round-trip histogram would inject an outlier
+	// equal to the deadline per expiry, so they get their own histogram.
+	if timedOut {
+		s.mEventTOWait.ObserveSince(pe.start)
+	} else {
+		s.mEventRTT.ObserveSince(pe.start)
+	}
 }

@@ -20,6 +20,12 @@ func (s *Server) handle(cl *client, env wire.Envelope) {
 	case wire.Retract:
 		s.handleRetract(cl, env.Seq, m)
 	case wire.Deregister:
+		// Deregistration invalidates any outstanding session token: an
+		// instance that left on purpose must not be resumable.
+		if tok, ok := s.sessionTok[cl.id]; ok {
+			delete(s.sessions, tok)
+			delete(s.sessionTok, cl.id)
+		}
 		s.dropClient(cl, "deregistered")
 		s.reply(cl, env.Seq, nil)
 	case wire.Couple:
@@ -27,11 +33,14 @@ func (s *Server) handle(cl *client, env wire.Envelope) {
 	case wire.Decouple:
 		s.handleDecouple(cl, env.Seq, m)
 	case wire.Event:
-		s.handleEvent(cl, env.Seq, m, env.Trace)
+		// Reached only on a single-shard server: when sharded, dispatchEnv
+		// routes event traffic straight to the owning shard loop and handle
+		// never sees these three message types.
+		s.handleEvent(s.shards[0], cl, env.Seq, m, env.Trace)
 	case wire.ExecAck:
-		s.handleExecAck(cl, m, env.Trace)
+		s.ackExec(s.shards[0], cl, m.EventID, env.Trace)
 	case wire.BatchAck:
-		s.handleBatchAck(cl, m)
+		s.handleBatchAck(s.shards[0], cl, m)
 	case wire.CopyTo:
 		s.handleCopyTo(cl, env.Seq, m)
 	case wire.CopyFrom:
@@ -110,12 +119,14 @@ func (s *Server) handleRetract(cl *client, seq uint64, m wire.Retract) {
 	// it afterwards loses the members connected only through the retracted
 	// object, so the split halves would keep stale mirrored links.
 	members := s.graph.Group(ref)
+	sh := s.shardForRef(ref)
 	removed := s.graph.RemoveObject(ref)
 	for _, l := range removed {
 		s.notifyLink(members, l, false)
 	}
 	s.reg.RetractObject(cl.id, m.Path)
-	s.history.Forget(ref)
+	s.runOnShard(sh, func() { sh.history.Forget(ref) })
+	s.router.dropRef(ref)
 	s.reply(cl, seq, nil)
 }
 
@@ -150,6 +161,11 @@ func (s *Server) coupleRefs(cl *client, from, to couple.ObjectRef) error {
 		return fmt.Errorf("server: classes %q and %q are not compatible", classFrom, classTo)
 	}
 	l := couple.Link{From: from, To: to, Creator: cl.id}
+	if s.sharded {
+		// Co-locate the two endpoint groups before the link merges them:
+		// every member of one coupling group serializes on one shard loop.
+		s.mergeShards(from, to)
+	}
 	if err := s.graph.AddLink(l); err != nil {
 		return err
 	}
@@ -206,7 +222,7 @@ func (s *Server) notifyLink(members []couple.ObjectRef, l couple.Link, added boo
 			continue
 		}
 		seen[m.Instance] = true
-		if c, ok := s.clients[m.Instance]; ok {
+		if c, ok := s.clientOf(m.Instance); ok {
 			if added {
 				c.out.send(wire.Envelope{Msg: wire.LinkAdded{Link: l}})
 			} else {
@@ -219,24 +235,28 @@ func (s *Server) notifyLink(members []couple.ObjectRef, l couple.Link, added boo
 func (s *Server) handleCommand(cl *client, seq uint64, m wire.Command) {
 	targets := m.Targets
 	if len(targets) == 0 {
+		s.cmu.RLock()
 		for id := range s.clients {
 			if id != cl.id {
 				targets = append(targets, id)
 			}
 		}
+		s.cmu.RUnlock()
 	}
 	// Validate every target before delivering to any: a failure after
 	// partial delivery would tell the sender "error" while some targets
 	// already received the command.
 	for _, id := range targets {
-		if _, ok := s.clients[id]; !ok {
+		if _, ok := s.clientOf(id); !ok {
 			s.reply(cl, seq, fmt.Errorf("server: unknown target instance %q", id))
 			return
 		}
 	}
 	deliver := wire.CommandDeliver{Name: m.Name, From: cl.id, Payload: m.Payload}
 	for _, id := range targets {
-		s.clients[id].out.send(wire.Envelope{Msg: deliver})
+		if c, ok := s.clientOf(id); ok {
+			c.out.send(wire.Envelope{Msg: deliver})
+		}
 	}
 	s.reply(cl, seq, nil)
 }
@@ -274,6 +294,13 @@ func (s *Server) handleSessionToken(cl *client, seq uint64) {
 		s.reply(cl, seq, err)
 		return
 	}
+	// One outstanding token per instance: re-minting replaces the previous
+	// token, so sessions is bounded by the number of registered instances
+	// and a superseded token can never resume the session.
+	if old, ok := s.sessionTok[cl.id]; ok {
+		delete(s.sessions, old)
+	}
+	s.sessionTok[cl.id] = tok
 	s.sessions[tok] = sessionRec{id: rec.ID, appType: rec.AppType, host: rec.Host, user: rec.User}
 	cl.out.send(wire.Envelope{RefSeq: seq, Msg: wire.SessionToken{Token: tok}})
 }
@@ -285,42 +312,56 @@ func (s *Server) dropClient(cl *client, reason string) {
 	// Identity check, not just key presence: after a Resume takeover the
 	// instance ID maps to the NEW client, and the superseded connection's
 	// deferred drop must not tear that one down.
-	if cur, ok := s.clients[cl.id]; !ok || cur != cl {
+	if cur, ok := s.clientOf(cl.id); !ok || cur != cl {
 		return // already dropped or superseded
 	}
 	s.logf("server: %s leaving (%s)", cl.id, reason)
 	s.slog.Info("instance leaving", "inst", string(cl.id), "reason", reason)
+	s.cmu.Lock()
 	delete(s.clients, cl.id)
+	s.cmu.Unlock()
 	s.mClients.Add(-1)
 
 	// Decouple everything the instance participated in, notifying survivors.
-	for _, l := range s.graph.RemoveInstance(cl.id) {
-		peer := l.From
-		if peer.Instance == cl.id {
-			peer = l.To
-		}
-		if peer.Instance != cl.id {
-			s.notifyLink(s.graph.Group(peer), l, false)
-			// The peer itself must hear it too even if now alone.
-			if c, ok := s.clients[peer.Instance]; ok {
-				c.out.send(wire.Envelope{Msg: wire.LinkRemoved{Link: l}})
-			}
+	// The affected groups are snapshotted *before* the links are removed:
+	// computing them afterwards loses the members connected to a peer only
+	// through the departed instance (the chain A–B–C where B leaves: after
+	// removal A and C are in separate components, and each would miss the
+	// removal of the other's link), leaving stale mirrored links — the same
+	// ordering bug handleRetract fixed.
+	removed := s.graph.InstanceLinks(cl.id)
+	pre := make(map[couple.ObjectRef][]couple.ObjectRef)
+	for _, l := range removed {
+		if _, ok := pre[l.From]; !ok {
+			pre[l.From] = s.graph.Group(l.From)
 		}
 	}
+	s.graph.RemoveInstance(cl.id)
+	for _, l := range removed {
+		s.notifyLink(pre[l.From], l, false)
+	}
 
-	// Resolve pending events: events it originated are finished; events
-	// awaiting its ack are acked by absence.
-	for id, pe := range s.pendingEvents {
-		if pe.origin == cl.id {
-			s.finishEvent(id, pe)
-			continue
-		}
-		if pe.waiting[cl.id] > 0 {
-			delete(pe.waiting, cl.id)
-			if len(pe.waiting) == 0 {
-				s.finishEvent(id, pe)
+	// Resolve group-scoped state on every shard: events the instance
+	// originated are finished, events awaiting its ack are acked by absence,
+	// and its locks and histories are dropped.
+	for _, sh := range s.shards {
+		sh := sh
+		s.runOnShard(sh, func() {
+			for id, pe := range sh.pending {
+				if pe.origin == cl.id {
+					s.finishEvent(sh, id, pe, false)
+					continue
+				}
+				if pe.waiting[cl.id] > 0 {
+					delete(pe.waiting, cl.id)
+					if len(pe.waiting) == 0 {
+						s.finishEvent(sh, id, pe, false)
+					}
+				}
 			}
-		}
+			sh.locks.ReleaseInstance(cl.id)
+			sh.history.ForgetInstance(cl.id)
+		})
 	}
 	// Resolve pending state fetches involving the instance.
 	for id, f := range s.pendingFetch {
@@ -330,8 +371,7 @@ func (s *Server) dropClient(cl *client, reason string) {
 			delete(s.pendingFetch, id)
 		}
 	}
-	s.locks.ReleaseInstance(cl.id)
-	s.history.ForgetInstance(cl.id)
+	s.router.dropInstance(cl.id)
 	s.reg.Deregister(cl.id)
 }
 
@@ -347,17 +387,17 @@ func (s *Server) notifyLockChange(tc obs.TraceContext, members []couple.ObjectRe
 		perInstance[m.Instance] = append(perInstance[m.Instance], m.Path)
 	}
 	for id, paths := range perInstance {
-		if c, ok := s.clients[id]; ok {
+		if c, ok := s.clientOf(id); ok {
 			c.out.send(wire.Envelope{Trace: tc, Msg: wire.SetLocks{Paths: paths, Locked: locked}})
 		}
 	}
 }
 
-// lockGroup applies the configured group-locking variant, recording a
-// "lock.acquire" span under tc when tracing.
-func (s *Server) lockGroup(tc obs.TraceContext, refs []couple.ObjectRef, owner lock.Owner) (bool, int) {
+// lockGroup applies the configured group-locking variant on the given
+// shard's table, recording a "lock.acquire" span under tc when tracing.
+func (s *Server) lockGroup(t *lock.Table, tc obs.TraceContext, refs []couple.ObjectRef, owner lock.Owner) (bool, int) {
 	if s.opts.OrderedLocking {
-		return s.locks.TryLockGroupOrderedCtx(tc, refs, owner)
+		return t.TryLockGroupOrderedCtx(tc, refs, owner)
 	}
-	return s.locks.TryLockGroupCtx(tc, refs, owner)
+	return t.TryLockGroupCtx(tc, refs, owner)
 }

@@ -29,6 +29,15 @@ var envBatchLimit = func() int {
 	return n
 }()
 
+// envShards lets CI soak the whole suite in sharded mode: when
+// COSOFT_SHARDS=<n> is set, every harness server defaults to that shard
+// count, so all integration and chaos scenarios exercise the per-group
+// shard loops and cross-shard handoffs.
+var envShards = func() int {
+	n, _ := strconv.Atoi(os.Getenv("COSOFT_SHARDS"))
+	return n
+}()
+
 // harness runs one server and dials clients over in-process links.
 type harness struct {
 	t   *testing.T
@@ -40,6 +49,9 @@ func newHarness(t *testing.T, opts server.Options) *harness {
 	t.Helper()
 	if opts.BatchLimit == 0 {
 		opts.BatchLimit = envBatchLimit
+	}
+	if opts.Shards == 0 {
+		opts.Shards = envShards
 	}
 	h := &harness{t: t, srv: server.New(opts)}
 	t.Cleanup(func() {
@@ -542,6 +554,15 @@ func (rc *rawClient) call(msg wire.Message) wire.Envelope {
 	case <-time.After(5 * time.Second):
 		rc.t.Fatalf("raw call %s timed out", msg.MsgType())
 		return wire.Envelope{}
+	}
+}
+
+// send fires an uncorrelated message (no reply expected). Safe concurrently
+// with call: wire.Conn serializes writers.
+func (rc *rawClient) send(msg wire.Message) {
+	rc.t.Helper()
+	if err := rc.conn.Write(wire.Envelope{Msg: msg}); err != nil {
+		rc.t.Errorf("raw send: %v", err)
 	}
 }
 

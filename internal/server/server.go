@@ -5,9 +5,12 @@
 // of events ("users send their requests for operations to the controller,
 // and then the controller broadcasts these operations to all users", §2.1).
 //
-// All server state is mutated by one goroutine fed through a request
-// channel, so event ordering is the arrival order at the loop — the
-// serialization guarantee the floor-control design relies on.
+// Global state (registry, couple graph, sessions, client map) is mutated by
+// one goroutine fed through a request channel, so event ordering is the
+// arrival order at the loop — the serialization guarantee the floor-control
+// design relies on. Group-scoped state (locks, histories, pending events)
+// can additionally be partitioned across per-group shard loops (see
+// shard.go); with one shard the server is exactly the classic single loop.
 package server
 
 import (
@@ -18,6 +21,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cosoft/internal/compat"
@@ -45,6 +49,12 @@ type Options struct {
 	// OrderedLocking selects the deterministic-order group-locking variant
 	// instead of the paper's sequential algorithm (ablation switch).
 	OrderedLocking bool
+	// Shards is the number of per-group state loops. Group-scoped state —
+	// the lock table, the historical-states database, and the pending-event
+	// wait sets — is partitioned across them by coupling group, so disjoint
+	// groups serialize on different cores (see shard.go). 0 or 1 selects the
+	// classic single serialized loop.
+	Shards int
 	// Heartbeat is the liveness probe interval: the server pings every
 	// connection this often and declares an instance dead after
 	// LivenessTimeout of silence (its locks are released and its pending
@@ -101,9 +111,15 @@ type Server struct {
 	checker *compat.Checker
 	reg     *registry.Store
 	graph   *couple.Graph
-	locks   *lock.Table
-	history *hist.DB
 	perms   *perm.Table
+
+	// shards own the group-scoped state (lock tables, histories, pending
+	// events). With Shards<=1 there is exactly one shard and it shares the
+	// global request channel — the classic single serialized loop. router is
+	// nil unless sharded.
+	shards  []*shard
+	router  *router
+	sharded bool
 
 	tr     *obs.Tracer
 	flight *obs.FlightRecorder
@@ -113,14 +129,20 @@ type Server struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 
-	// State below is owned by the loop goroutine.
-	clients       map[couple.InstanceID]*client
-	pendingEvents map[uint64]*pendingEvent
-	pendingFetch  map[uint64]*fetch
-	sessions      map[string]sessionRec
-	nextEventID   uint64
-	nextFetchID   uint64
-	nextPing      uint64
+	// clients is written only on the global loop but read from shard loops
+	// and connection read goroutines, so it sits behind a read-mostly lock.
+	cmu     sync.RWMutex
+	clients map[couple.InstanceID]*client
+
+	// State below is owned by the global loop goroutine.
+	pendingFetch map[uint64]*fetch
+	sessions     map[string]sessionRec
+	// sessionTok maps an instance to its one outstanding session token, so
+	// re-minting replaces (and Deregister drops) the previous token instead
+	// of accreting entries in sessions without bound.
+	sessionTok  map[couple.InstanceID]string
+	nextFetchID uint64
+	nextPing    uint64
 
 	// Metric handles resolved from Options.Metrics at construction (nil
 	// handles under obs.Disabled; every method is a nil-safe no-op).
@@ -143,6 +165,9 @@ type Server struct {
 	mBytesEncoded  *obs.Counter   // server.bytes_encoded: bytes serialized on the send path
 	mPoolHits      *obs.Counter   // wire.body_pool_hits: shared-body buffers reused from the pool
 	mPoolMisses    *obs.Counter   // wire.body_pool_misses: shared-body buffers freshly allocated
+	mShards        *obs.Gauge     // server.shards: configured shard count
+	mHandoffs      *obs.Counter   // server.cross_shard_handoffs: group migrations between shards
+	mEventTOWait   *obs.Histogram // server.event_timeout_wait_ns: wait span of deadline-resolved events
 
 	closeOnce sync.Once
 }
@@ -206,6 +231,16 @@ type Stats struct {
 	// PendingEvents is the number of broadcast events still awaiting Exec
 	// acknowledgements (should return to zero at quiescence).
 	PendingEvents int
+	// EventTimeoutWait summarizes how long deadline-resolved events waited
+	// before the deadline fired (nanoseconds). They are kept out of
+	// EventRTT so a single straggler cannot inject a deadline-sized p99
+	// outlier into the round-trip numbers.
+	EventTimeoutWait obs.Summary
+	// Shards is the configured shard count; CrossShardHandoffs counts group
+	// migrations between shards (a couple link joining two groups that lived
+	// on different shards).
+	Shards             int64
+	CrossShardHandoffs uint64
 }
 
 // client is the server-side view of one connected instance.
@@ -217,10 +252,14 @@ type client struct {
 	// name keys this connection in the flight recorder; it is the remote
 	// address until registration assigns the instance ID.
 	name string
-	// lastSeen is when the last message arrived on this connection
-	// (loop-owned; drives the liveness deadline).
-	lastSeen time.Time
+	// lastSeen is when the last message arrived on this connection, as
+	// UnixNano. It drives the liveness deadline; atomic because the
+	// connection read goroutine writes it and the sweeper reads it.
+	lastSeen atomic.Int64
 }
+
+// touch refreshes the liveness clock of the connection.
+func (c *client) touch() { c.lastSeen.Store(time.Now().UnixNano()) }
 
 // sessionRec is the durable half of a registration: enough to re-register
 // a reconnecting client under its original instance ID.
@@ -245,23 +284,26 @@ func New(opts Options) *Server {
 		// same handles, and atomic counters cost next to nothing.
 		metrics = obs.NewRegistry()
 	}
+	nshards := opts.Shards
+	if nshards < 1 {
+		nshards = 1
+	}
 	s := &Server{
-		opts:          opts,
-		tr:            opts.Tracer,
-		flight:        opts.Flight,
-		slog:          obs.LoggerOr(opts.Logger).With("component", "server"),
-		checker:       compat.NewChecker(opts.Classes, opts.Correspondences),
-		reg:           registry.NewStore(),
-		graph:         couple.NewGraph(),
-		locks:         lock.NewTable(),
-		history:       hist.NewDB(opts.HistoryDepth),
-		perms:         perm.NewTable(),
-		reqs:          make(chan func(), 1024),
-		quit:          make(chan struct{}),
-		clients:       make(map[couple.InstanceID]*client),
-		pendingEvents: make(map[uint64]*pendingEvent),
-		pendingFetch:  make(map[uint64]*fetch),
-		sessions:      make(map[string]sessionRec),
+		opts:         opts,
+		tr:           opts.Tracer,
+		flight:       opts.Flight,
+		slog:         obs.LoggerOr(opts.Logger).With("component", "server"),
+		checker:      compat.NewChecker(opts.Classes, opts.Correspondences),
+		reg:          registry.NewStore(),
+		graph:        couple.NewGraph(),
+		perms:        perm.NewTable(),
+		sharded:      nshards > 1,
+		reqs:         make(chan func(), 1024),
+		quit:         make(chan struct{}),
+		clients:      make(map[couple.InstanceID]*client),
+		pendingFetch: make(map[uint64]*fetch),
+		sessions:     make(map[string]sessionRec),
+		sessionTok:   make(map[couple.InstanceID]string),
 
 		mEvents:        metrics.Counter("server.events"),
 		mLockFails:     metrics.Counter("server.lock_failures"),
@@ -282,12 +324,46 @@ func New(opts Options) *Server {
 		mBytesEncoded:  metrics.Counter("server.bytes_encoded"),
 		mPoolHits:      metrics.Counter("wire.body_pool_hits"),
 		mPoolMisses:    metrics.Counter("wire.body_pool_misses"),
+		mShards:        metrics.Gauge("server.shards"),
+		mHandoffs:      metrics.Counter("server.cross_shard_handoffs"),
+		mEventTOWait:   metrics.Histogram("server.event_timeout_wait_ns"),
 	}
 	wire.InstrumentBodyPool(s.mPoolHits, s.mPoolMisses)
-	s.locks.Instrument(s.mLockAttempts, metrics.Counter("lock.group_failures"), s.mLockUndone)
-	s.locks.TraceWith(opts.Tracer)
+	// Every shard's lock table shares the same metric handles, so the
+	// lock.* counters stay aggregate regardless of shard count.
+	lockFails := metrics.Counter("lock.group_failures")
+	for i := 0; i < nshards; i++ {
+		sh := &shard{
+			idx:     i,
+			locks:   lock.NewTable(),
+			history: hist.NewDB(opts.HistoryDepth),
+			pending: make(map[uint64]*pendingEvent),
+			mEvents: metrics.Counter(fmt.Sprintf("server.shard.%d.events", i)),
+		}
+		sh.locks.Instrument(s.mLockAttempts, lockFails, s.mLockUndone)
+		sh.locks.TraceWith(opts.Tracer)
+		if s.sharded {
+			sh.reqs = make(chan func(), 1024)
+			sh.installCh = make(chan migrated, 1)
+		} else {
+			// The lone shard shares the global request channel: one loop,
+			// one serialization order, exactly the pre-shard server.
+			sh.reqs = s.reqs
+		}
+		s.shards = append(s.shards, sh)
+	}
+	if s.sharded {
+		s.router = &router{n: nshards, obj: make(map[couple.ObjectRef]int), ev: make(map[uint64]int)}
+	}
+	s.mShards.Set(int64(nshards))
 	s.wg.Add(1)
 	go s.loop()
+	if s.sharded {
+		for _, sh := range s.shards {
+			s.wg.Add(1)
+			go s.shardLoop(sh)
+		}
+	}
 	if period := s.sweepPeriod(); period > 0 {
 		s.wg.Add(1)
 		go s.sweeper(period)
@@ -370,10 +446,12 @@ func (s *Server) Close() {
 		// Ask the loop to close all client connections, then stop it.
 		done := make(chan struct{})
 		if s.post(func() {
+			s.cmu.RLock()
 			for _, c := range s.clients {
 				c.out.close()
 				c.conn.Close()
 			}
+			s.cmu.RUnlock()
 			close(done)
 		}) {
 			<-done
@@ -381,6 +459,32 @@ func (s *Server) Close() {
 		close(s.quit)
 	})
 	s.wg.Wait()
+	// Every loop has exited (wg.Wait is the happens-before edge), so the
+	// pending maps are quiescent. Stop the deadline timers of unresolved
+	// events — a timer left running would outlive the server, and its late
+	// firing only posts (post refuses after quit), so stopping here is safe
+	// and sufficient.
+	for _, sh := range s.shards {
+		for _, pe := range sh.pending {
+			if pe.timer != nil {
+				pe.timer.Stop()
+			}
+		}
+		if sh.installCh == nil {
+			continue
+		}
+		// A migration bundle the receiver never installed (it exited first)
+		// still carries pending events with live timers.
+		select {
+		case m := <-sh.installCh:
+			for _, pe := range m.events {
+				if pe.timer != nil {
+					pe.timer.Stop()
+				}
+			}
+		default:
+		}
+	}
 }
 
 // Stats returns a consistent snapshot of the server counters.
@@ -409,12 +513,52 @@ func (s *Server) Stats() Stats {
 			BytesEncoded:     s.mBytesEncoded.Value(),
 			BodyPoolHits:     s.mPoolHits.Value(),
 			BodyPoolMisses:   s.mPoolMisses.Value(),
-			PendingEvents:    len(s.pendingEvents),
+			PendingEvents:    s.pendingCount(),
+			EventTimeoutWait: s.mEventTOWait.Summary(),
+			Shards:           s.mShards.Value(),
+			CrossShardHandoffs: s.mHandoffs.Value(),
 		}
 	}) {
 		return Stats{}
 	}
 	return <-result
+}
+
+// pendingCount sums still-pending events across shards. It runs on the
+// global loop; on a sharded server each shard reports its count under its
+// own serialization (shards never wait on the global loop, so the gather
+// cannot deadlock).
+func (s *Server) pendingCount() int {
+	if !s.sharded {
+		return len(s.shards[0].pending)
+	}
+	counts := make(chan int, len(s.shards))
+	posted := 0
+	for _, sh := range s.shards {
+		sh := sh
+		if s.postShard(sh, func() { counts <- len(sh.pending) }) {
+			posted++
+		}
+	}
+	total := 0
+	for i := 0; i < posted; i++ {
+		select {
+		case c := <-counts:
+			total += c
+		case <-s.quit:
+			return total
+		}
+	}
+	return total
+}
+
+// clientOf returns the connected client of an instance. Callable from any
+// goroutine: clients sits behind a read-mostly lock.
+func (s *Server) clientOf(id couple.InstanceID) (*client, bool) {
+	s.cmu.RLock()
+	c, ok := s.clients[id]
+	s.cmu.RUnlock()
+	return c, ok
 }
 
 // Permissions returns the server's permission table for administrative
@@ -457,11 +601,8 @@ func (s *Server) handleConn(c *wire.Conn) {
 		if err != nil {
 			break
 		}
-		if !s.post(func() {
-			cl.lastSeen = time.Now()
-			s.recordFlight(cl, "recv", env)
-			s.handle(cl, env)
-		}) {
+		cl.touch()
+		if !s.dispatchEnv(cl, env) {
 			break
 		}
 	}
@@ -510,7 +651,13 @@ func (s *Server) admitResume(cl *client, env wire.Envelope, m wire.Resume) strin
 			result <- "server: unknown session token"
 			return
 		}
-		if old, connected := s.clients[sess.id]; connected {
+		// Tokens are single-use: consume it now so a stale copy cannot later
+		// hijack the resumed session. The client re-mints after resuming.
+		delete(s.sessions, m.Token)
+		if s.sessionTok[sess.id] == m.Token {
+			delete(s.sessionTok, sess.id)
+		}
+		if old, connected := s.clientOf(sess.id); connected {
 			s.dropClient(old, "superseded by resume")
 			old.conn.Close()
 		}
@@ -538,10 +685,12 @@ func (s *Server) admitResume(cl *client, env wire.Envelope, m wire.Resume) strin
 // admit installs a freshly identified client and acknowledges the
 // handshake. It runs on the state loop.
 func (s *Server) admit(cl *client, env wire.Envelope) {
+	s.cmu.Lock()
 	s.clients[cl.id] = cl
+	s.cmu.Unlock()
 	s.mClients.Add(1)
 	cl.name = string(cl.id)
-	cl.lastSeen = time.Now()
+	cl.touch()
 	s.recordFlight(cl, "recv", env)
 	cl.out.send(wire.Envelope{RefSeq: env.Seq, Msg: wire.Registered{ID: cl.id}})
 }
@@ -863,7 +1012,15 @@ func (s *Server) sweeper(period time.Duration) {
 // and resolve pending events, so both failure paths share one cleanup.
 func (s *Server) sweep() {
 	now := time.Now()
+	// Snapshot under the read lock, then release it: dropClient re-takes
+	// the write lock.
+	s.cmu.RLock()
+	snapshot := make([]*client, 0, len(s.clients))
 	for _, cl := range s.clients {
+		snapshot = append(snapshot, cl)
+	}
+	s.cmu.RUnlock()
+	for _, cl := range snapshot {
 		if s.opts.OutboxLimit > 0 {
 			if since := cl.out.overLimitSince(); !since.IsZero() && now.Sub(since) > s.outboxGrace() {
 				s.mEvictions.Inc()
@@ -876,7 +1033,7 @@ func (s *Server) sweep() {
 			}
 		}
 		if s.opts.Heartbeat > 0 {
-			if silent := now.Sub(cl.lastSeen); silent > s.livenessTimeout() {
+			if silent := now.Sub(time.Unix(0, cl.lastSeen.Load())); silent > s.livenessTimeout() {
 				s.mLivenessTOs.Inc()
 				s.slog.Warn("client declared dead: liveness timeout",
 					"inst", string(cl.id), "silent_for", silent.String())

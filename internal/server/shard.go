@@ -1,0 +1,390 @@
+// Sharded state loops: group-scoped server state (the lock table, the
+// historical-states database, and the pending-event wait sets) is partitioned
+// across N shard loops, routed by coupling group, while the registry, session
+// table, couple graph and client/outbox map stay on the global loop. The
+// paper's floor lock makes the coupling group the natural unit of
+// serialization (§3.2): events of one group must serialize against each
+// other, but events of disjoint groups never share state, so they can run on
+// different loops.
+//
+// With one shard (the default for existing callers), shard 0 *is* the global
+// loop — same channel, same goroutine — so every request serializes in
+// exactly the order the single-loop server processed it, and the whole
+// existing suite doubles as the equivalence oracle for the sharded refactor.
+//
+// Cross-shard operations are explicit two-shard handoffs. When a new couple
+// link joins two groups living on different shards, the smaller group
+// migrates to the larger one's shard before the link is installed:
+//
+//  1. The global loop queues a hold marker on the receiving shard. Every
+//     request routed there after the route flip lands behind the marker and
+//     is parked until the migrated state arrives.
+//  2. The routes of the migrating refs flip to the receiving shard.
+//  3. The donor shard extracts the group's locks, histories and pending
+//     events — everything queued ahead of the extraction still ran against
+//     the full state — and hands the bundle to the receiver on a dedicated
+//     install channel.
+//  4. The receiver installs the bundle, lifts the hold, and replays the
+//     parked requests in arrival order.
+//
+// No loop ever blocks waiting for another loop: the receiver keeps draining
+// its queue (into the parked list) while holding, the donor's handoff channel
+// is buffered, and the global loop's wait for the install is the only
+// synchronous edge — shards never wait on the global loop, so the wait graph
+// stays acyclic.
+package server
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"cosoft/internal/couple"
+	"cosoft/internal/hist"
+	"cosoft/internal/lock"
+	"cosoft/internal/obs"
+	"cosoft/internal/wire"
+)
+
+// shard owns the group-scoped state of the coupling groups routed to it. The
+// holding/held fields are loop-local: only the owning loop goroutine touches
+// them.
+type shard struct {
+	idx  int
+	reqs chan func()
+	// installCh delivers the state bundle of an in-flight migration. One
+	// migration is in flight at a time (the global loop serializes them and
+	// waits for the install), so capacity 1 means the donor never blocks.
+	installCh chan migrated
+
+	holding bool     // parked behind an in-flight migration
+	held    []func() // requests parked while holding, in arrival order
+
+	locks   *lock.Table
+	history *hist.DB
+	pending map[uint64]*pendingEvent
+	// seq counts events born on this shard; the wire-visible event ID is
+	// (seq-1)*nshards + idx + 1, so IDs are unique across shards and reduce
+	// to the plain counter 1,2,3,… with one shard.
+	seq uint64
+
+	mEvents *obs.Counter // per-shard event counter (server.shard.<idx>.events)
+}
+
+// migrated is the state bundle of one cross-shard group migration.
+type migrated struct {
+	locks   map[couple.ObjectRef]lock.Owner
+	history hist.Extracted
+	events  map[uint64]*pendingEvent
+	done    chan struct{} // closed by the receiver once installed
+}
+
+// router maps refs and migrated events to shards. It exists only on sharded
+// servers (nil with one shard; every method is nil-safe) and is read from
+// connection read loops, so it carries its own lock.
+type router struct {
+	mu sync.RWMutex
+	n  int
+	// obj holds explicit route overrides created by migrations. Refs without
+	// an override route by hash, so the map stays small: only groups that
+	// ever crossed a shard boundary are listed.
+	obj map[couple.ObjectRef]int
+	// ev forwards acks/timeouts of migrated pending events from their birth
+	// shard (encoded in the event ID) to their current shard. Entries exist
+	// only while a migrated event is pending.
+	ev map[uint64]int
+}
+
+func (r *router) refShard(ref couple.ObjectRef) int {
+	r.mu.RLock()
+	i, ok := r.obj[ref]
+	r.mu.RUnlock()
+	if ok {
+		return i
+	}
+	return int(hashRef(ref) % uint32(r.n))
+}
+
+func (r *router) setRoutes(refs []couple.ObjectRef, idx int) {
+	r.mu.Lock()
+	for _, ref := range refs {
+		if int(hashRef(ref)%uint32(r.n)) == idx {
+			delete(r.obj, ref) // override would restate the hash
+		} else {
+			r.obj[ref] = idx
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *router) dropRef(ref couple.ObjectRef) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.obj, ref)
+	r.mu.Unlock()
+}
+
+func (r *router) dropInstance(id couple.InstanceID) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for ref := range r.obj {
+		if ref.Instance == id {
+			delete(r.obj, ref)
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *router) setEventRoutes(ids []uint64, idx int) {
+	r.mu.Lock()
+	for _, id := range ids {
+		r.ev[id] = idx
+	}
+	r.mu.Unlock()
+}
+
+func (r *router) eventShard(id uint64) (int, bool) {
+	r.mu.RLock()
+	i, ok := r.ev[id]
+	r.mu.RUnlock()
+	return i, ok
+}
+
+func (r *router) clearEvent(id uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.ev, id)
+	r.mu.Unlock()
+}
+
+// hashRef is the default ref→shard placement (FNV-1a over the global object
+// name). All members of a group must agree on a shard; migrations record
+// overrides when coupling breaks the hash placement.
+func hashRef(ref couple.ObjectRef) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(ref.Instance))
+	h.Write([]byte{0})
+	h.Write([]byte(ref.Path))
+	return h.Sum32()
+}
+
+// shardForRef returns the shard owning ref's coupling group.
+func (s *Server) shardForRef(ref couple.ObjectRef) *shard {
+	if !s.sharded {
+		return s.shards[0]
+	}
+	return s.shards[s.router.refShard(ref)]
+}
+
+// birthShard decodes the shard an event ID was allocated on.
+func (s *Server) birthShard(eventID uint64) *shard {
+	return s.shards[int((eventID-1)%uint64(len(s.shards)))]
+}
+
+// postShard schedules fn on sh's loop. With one shard this is exactly post:
+// shard 0 shares the global request channel.
+func (s *Server) postShard(sh *shard, fn func()) bool {
+	select {
+	case <-s.quit:
+		return false
+	default:
+	}
+	select {
+	case sh.reqs <- fn:
+		return true
+	case <-s.quit:
+		return false
+	}
+}
+
+// runOnShard executes fn under sh's serialization. It must be called from
+// the global loop. With one shard the global loop IS the shard loop, so fn
+// runs inline — preserving the single-loop execution order exactly.
+func (s *Server) runOnShard(sh *shard, fn func()) {
+	if !s.sharded {
+		fn()
+		return
+	}
+	s.postShard(sh, fn)
+}
+
+// shardLoop runs one shard's requests (sharded servers only). While a
+// migration into this shard is in flight, requests are parked rather than
+// run, and replayed in order once the migrated state is installed — the loop
+// itself never blocks, which keeps the cross-loop wait graph acyclic.
+func (s *Server) shardLoop(sh *shard) {
+	defer s.wg.Done()
+	for {
+		select {
+		case fn := <-sh.reqs:
+			sh.run(fn)
+		case m := <-sh.installCh:
+			sh.install(m)
+		case <-s.quit:
+			for {
+				select {
+				case fn := <-sh.reqs:
+					sh.run(fn)
+				case m := <-sh.installCh:
+					sh.install(m)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (sh *shard) run(fn func()) {
+	if sh.holding {
+		sh.held = append(sh.held, fn)
+		return
+	}
+	fn()
+}
+
+// install merges a migrated group into this shard and replays the parked
+// backlog.
+func (sh *shard) install(m migrated) {
+	sh.locks.Install(m.locks)
+	sh.history.Install(m.history)
+	for id, pe := range m.events {
+		sh.pending[id] = pe
+	}
+	sh.holding = false
+	close(m.done)
+	held := sh.held
+	sh.held = nil
+	for _, fn := range held {
+		fn()
+	}
+}
+
+// mergeShards co-locates the two endpoint groups of a new couple link before
+// the link merges them: every member of one coupling group must serialize on
+// one shard loop. The smaller pre-merge group migrates to the larger one's
+// shard (ties keep the from side in place). It runs on the global loop,
+// before graph.AddLink.
+func (s *Server) mergeShards(from, to couple.ObjectRef) {
+	shFrom := s.shardForRef(from)
+	shTo := s.shardForRef(to)
+	if shFrom == shTo {
+		return // same shard — includes the already-same-group case
+	}
+	gFrom := s.graph.Group(from)
+	gTo := s.graph.Group(to)
+	winner, loser, refs := shFrom, shTo, gTo
+	if len(gTo) > len(gFrom) {
+		winner, loser, refs = shTo, shFrom, gFrom
+	}
+	s.migrateGroup(loser, winner, refs)
+}
+
+// migrateGroup moves the group made of refs from one shard to another. It
+// runs on the global loop and returns once the receiving shard has installed
+// the state (or the server is shutting down).
+func (s *Server) migrateGroup(from, to *shard, refs []couple.ObjectRef) {
+	s.mHandoffs.Inc()
+	refset := make(map[couple.ObjectRef]bool, len(refs))
+	for _, ref := range refs {
+		refset[ref] = true
+	}
+	done := make(chan struct{})
+	// The hold marker's queue position is the correctness pivot: requests
+	// routed to the receiver after the flip necessarily enqueue behind it,
+	// so none of them can run before the migrated state is installed.
+	if !s.postShard(to, func() { to.holding = true }) {
+		return // shutting down
+	}
+	s.router.setRoutes(refs, to.idx)
+	if s.postShard(from, func() { s.extractMigrated(from, to, refset, done) }) {
+		select {
+		case <-done:
+		case <-s.quit:
+		}
+	}
+}
+
+// extractMigrated runs on the donor shard: everything queued ahead of it
+// already ran against the full state, everything routed after the flip goes
+// to the receiver. Locks are extracted both by ref and by owning event, so a
+// migrating event's lock on a since-retracted object cannot strand on the
+// donor.
+func (s *Server) extractMigrated(from, to *shard, refs map[couple.ObjectRef]bool, done chan struct{}) {
+	m := migrated{events: make(map[uint64]*pendingEvent), done: done}
+	owners := make(map[lock.Owner]bool)
+	var ids []uint64
+	for id, pe := range from.pending {
+		if refs[pe.source] {
+			delete(from.pending, id)
+			pe.migrated = true
+			m.events[id] = pe
+			owners[pe.owner] = true
+			ids = append(ids, id)
+		}
+	}
+	m.locks = from.locks.Extract(refs, owners)
+	m.history = from.history.Extract(refs)
+	s.router.setEventRoutes(ids, to.idx)
+	to.installCh <- m
+}
+
+// dispatchEnv routes one decoded envelope from a connection read loop. On a
+// single-shard server everything goes to the global loop, exactly as before.
+// On a sharded server, Event/ExecAck/BatchAck traffic goes straight to the
+// owning shard; everything else (registration, coupling, copies, commands,
+// permissions) stays on the global loop.
+func (s *Server) dispatchEnv(cl *client, env wire.Envelope) bool {
+	if !s.sharded {
+		return s.post(func() {
+			s.recordFlight(cl, "recv", env)
+			s.handle(cl, env)
+		})
+	}
+	switch m := env.Msg.(type) {
+	case wire.Event:
+		sh := s.shardForRef(couple.ObjectRef{Instance: cl.id, Path: m.Path})
+		return s.postShard(sh, func() {
+			s.recordFlight(cl, "recv", env)
+			s.handleEvent(sh, cl, env.Seq, m, env.Trace)
+		})
+	case wire.ExecAck:
+		sh := s.birthShard(m.EventID)
+		return s.postShard(sh, func() {
+			s.recordFlight(cl, "recv", env)
+			s.ackExec(sh, cl, m.EventID, env.Trace)
+		})
+	case wire.BatchAck:
+		// Split the coalesced run by birth shard, preserving within-shard
+		// entry order — resolving entries shard by shard is identical to the
+		// same ExecAcks arriving singly.
+		s.recordFlight(cl, "recv", env)
+		s.mAcksCoalesced.Add(uint64(len(m.Acks)))
+		perShard := make(map[*shard][]wire.BatchAckEntry)
+		for _, a := range m.Acks {
+			sh := s.birthShard(a.EventID)
+			perShard[sh] = append(perShard[sh], a)
+		}
+		ok := true
+		for sh, acks := range perShard {
+			sh, acks := sh, acks
+			if !s.postShard(sh, func() {
+				for _, a := range acks {
+					s.ackExec(sh, cl, a.EventID, a.Trace)
+				}
+			}) {
+				ok = false
+			}
+		}
+		return ok
+	}
+	return s.post(func() {
+		s.recordFlight(cl, "recv", env)
+		s.handle(cl, env)
+	})
+}

@@ -30,7 +30,7 @@ func (s *Server) requestState(requester *client, ref couple.ObjectRef, relevantO
 // requestStateOpt additionally controls shallow capture.
 func (s *Server) requestStateOpt(requester *client, ref couple.ObjectRef, relevantOnly, shallow bool,
 	onReply func(widget.TreeState), onFail func(string)) {
-	target, ok := s.clients[ref.Instance]
+	target, ok := s.clientOf(ref.Instance)
 	if !ok {
 		onFail(fmt.Sprintf("instance %s not connected", ref.Instance))
 		return
@@ -135,20 +135,26 @@ func (s *Server) completeCopy(cl *client, seq uint64, from, to couple.ObjectRef,
 	}
 	s.requestState(cl, to, false,
 		func(old widget.TreeState) {
-			s.history.Record(hist.Snapshot{Ref: to, State: old, Origin: cl.id, At: s.now()})
-			target, ok := s.clients[to.Instance]
-			if !ok {
-				s.reply(cl, seq, fmt.Errorf("server: instance %s disconnected", to.Instance))
-				return
-			}
-			target.out.send(wire.Envelope{Msg: wire.ApplyState{
-				Path:        to.Path,
-				State:       state,
-				Origin:      cl.id,
-				Destructive: destructive,
-			}})
-			s.mCopies.Inc()
-			s.reply(cl, seq, nil)
+			// The backup lands in the destination group's shard-owned
+			// history, so the write hops onto that shard's loop (inline on a
+			// single-shard server).
+			sh := s.shardForRef(to)
+			s.runOnShard(sh, func() {
+				sh.history.Record(hist.Snapshot{Ref: to, State: old, Origin: cl.id, At: s.now()})
+				target, ok := s.clientOf(to.Instance)
+				if !ok {
+					s.reply(cl, seq, fmt.Errorf("server: instance %s disconnected", to.Instance))
+					return
+				}
+				target.out.send(wire.Envelope{Msg: wire.ApplyState{
+					Path:        to.Path,
+					State:       state,
+					Origin:      cl.id,
+					Destructive: destructive,
+				}})
+				s.mCopies.Inc()
+				s.reply(cl, seq, nil)
+			})
 		},
 		func(reason string) {
 			s.reply(cl, seq, fmt.Errorf("server: backing up %s: %s", stateID(to), reason))
@@ -218,28 +224,32 @@ func (s *Server) handleUndoRedo(cl *client, seq uint64, path string, undo bool) 
 	}
 	s.requestState(cl, ref, false,
 		func(current widget.TreeState) {
-			var snap hist.Snapshot
-			var err error
-			if undo {
-				snap, err = s.history.Undo(ref, current)
-			} else {
-				snap, err = s.history.Redo(ref, current)
-			}
-			if err != nil {
-				if errors.Is(err, hist.ErrEmpty) {
-					s.reply(cl, seq, fmt.Errorf("server: no state to restore for %s", stateID(ref)))
+			// Undo/redo mutates the object's shard-owned history stacks.
+			sh := s.shardForRef(ref)
+			s.runOnShard(sh, func() {
+				var snap hist.Snapshot
+				var err error
+				if undo {
+					snap, err = sh.history.Undo(ref, current)
+				} else {
+					snap, err = sh.history.Redo(ref, current)
+				}
+				if err != nil {
+					if errors.Is(err, hist.ErrEmpty) {
+						s.reply(cl, seq, fmt.Errorf("server: no state to restore for %s", stateID(ref)))
+						return
+					}
+					s.reply(cl, seq, err)
 					return
 				}
-				s.reply(cl, seq, err)
-				return
-			}
-			cl.out.send(wire.Envelope{Msg: wire.ApplyState{
-				Path:        path,
-				State:       snap.State,
-				Origin:      snap.Origin,
-				Destructive: true,
-			}})
-			s.reply(cl, seq, nil)
+				cl.out.send(wire.Envelope{Msg: wire.ApplyState{
+					Path:        path,
+					State:       snap.State,
+					Origin:      snap.Origin,
+					Destructive: true,
+				}})
+				s.reply(cl, seq, nil)
+			})
 		},
 		func(reason string) {
 			s.reply(cl, seq, fmt.Errorf("server: reading current state of %s: %s", stateID(ref), reason))
