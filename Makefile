@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet verify bench chaos chaos-sharded load-smoke
+.PHONY: all build test race vet verify bench chaos chaos-sharded load-smoke lint-metrics
 
 all: verify
 
@@ -22,7 +22,12 @@ vet:
 race:
 	$(GO) test -race ./internal/server/... ./internal/lock/... ./internal/client/...
 
-verify: vet race
+# Cross-checks the metric names registered in code against the README's
+# metric table, so the documented observability surface cannot drift.
+lint-metrics:
+	$(GO) run ./internal/tools/metriclint
+
+verify: vet lint-metrics race
 
 # Soak the fault-injection tests: hung, partitioned, evicted, resumed and
 # duplicated connections, repeated under the race detector — once over the

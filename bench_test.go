@@ -291,6 +291,7 @@ func BenchmarkEvent(b *testing.B) {
 			b.StopTimer()
 			if mode == "metrics-off" {
 				gateDisabledTracingAllocs(b)
+				gateDisabledFamilyAllocs(b)
 			}
 			if reg != nil {
 				stats := cl.Srv.Stats()
@@ -331,6 +332,21 @@ func BenchmarkEvent(b *testing.B) {
 	// drop is the optimization's signature.
 	for _, mode := range []string{"encode-once-off", "encode-once-on"} {
 		sopts := server.Options{BatchLimit: 64, DisableEncodeOnce: mode == "encode-once-off"}
+		b.Run(mode, func(b *testing.B) {
+			fanoutBench(b, "BenchmarkEvent/"+mode, sopts, true, false)
+		})
+	}
+
+	// The straggler-attribution pair isolates the per-member accounting the
+	// group health plane added to the ack hot path: both variants batch and
+	// run with metrics on (the realistic deployment), and differ only in
+	// whether each ExecAck charges its latency to the acking member's family
+	// entry. The entry pointer is cached per client at admission, so the on
+	// variant's cost is a handful of atomics per ack — the trajectory rows
+	// record the p50 RTT delta and the per-event allocation counts that gate
+	// the <5% overhead acceptance criterion.
+	for _, mode := range []string{"straggler-attr-off", "straggler-attr-on"} {
+		sopts := server.Options{BatchLimit: 64, DisableMemberAttribution: mode == "straggler-attr-off"}
 		b.Run(mode, func(b *testing.B) {
 			fanoutBench(b, "BenchmarkEvent/"+mode, sopts, true, false)
 		})
@@ -688,6 +704,27 @@ func gateDisabledTracingAllocs(b *testing.B) {
 	})
 	if allocs != 0 {
 		b.Fatalf("disabled tracing path allocates %.1f times per event", allocs)
+	}
+}
+
+// gateDisabledFamilyAllocs fails the benchmark if the per-member attribution
+// call shape allocates when metrics are disabled: obs.Disabled hands out a
+// nil *Family, and every lookup and sub-metric update on it must no-op for
+// free — the contract that lets the ack path keep its attribution calls
+// unconditionally inline.
+func gateDisabledFamilyAllocs(b *testing.B) {
+	f := obs.Disabled.Family("server.member", obs.FamilySchema{
+		Counters: []string{"acks"}, Hist: "ack_ns", EWMA: "ack_ewma_ns",
+	})
+	allocs := testing.AllocsPerRun(100, func() {
+		e := f.Get("inst")
+		e.Hist().Observe(1)
+		e.EWMA().Observe(1)
+		e.Counter(0).Inc()
+		f.Peek("inst")
+	})
+	if allocs != 0 {
+		b.Fatalf("disabled family path allocates %.1f times per ack", allocs)
 	}
 }
 

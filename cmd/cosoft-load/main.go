@@ -17,7 +17,7 @@
 //
 //	cosoft-load [-groups 2] [-group-size 64] [-duration 5s] [-events 0]
 //	            [-rate 0] [-payload 24] [-batch-limit 32] [-batching]
-//	            [-shards 1] [-no-encode-once]
+//	            [-shards 1] [-no-encode-once] [-no-member-attr]
 //	            [-faultnet "dup=0.01,delay=1ms,jitter=1ms"]
 //	            [-addr host:port] [-bench-out BENCH_obs.json] [-v]
 //
@@ -64,6 +64,7 @@ func main() {
 		batching     = flag.Bool("batching", true, "clients opt into the wire batch extension")
 		shards       = flag.Int("shards", 1, "in-process server shard count: per-coupling-group state loops (1 = classic single loop)")
 		noEncodeOnce = flag.Bool("no-encode-once", false, "in-process server re-encodes the Exec body per member (ablation)")
+		noMemberAttr = flag.Bool("no-member-attr", false, "in-process server skips per-member straggler attribution (ablation)")
 		faultSpec    = flag.String("faultnet", "", `faultnet profile for in-process server conns, e.g. "drop=0.01,dup=0.01,dropnth=0,delay=1ms,jitter=1ms,seed=1"`)
 		benchOut     = flag.String("bench-out", "", "append a row to this BENCH_obs.json trajectory (empty = report only)")
 		verbose      = flag.Bool("v", false, "log per-group progress")
@@ -77,7 +78,7 @@ func main() {
 		addr: *addr, groups: *groups, groupSize: *groupSize,
 		duration: *duration, events: *events, rate: *rate, payload: *payload,
 		batchLimit: *batchLimit, batching: *batching, shards: *shards,
-		noEncodeOnce: *noEncodeOnce,
+		noEncodeOnce: *noEncodeOnce, noMemberAttr: *noMemberAttr,
 		faultSpec: *faultSpec, benchOut: *benchOut, verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "cosoft-load: %v\n", err)
@@ -97,6 +98,7 @@ type config struct {
 	batching     bool
 	shards       int
 	noEncodeOnce bool
+	noMemberAttr bool
 	faultSpec    string
 	benchOut     string
 	verbose      bool
@@ -124,10 +126,11 @@ func run(cfg config) error {
 		}
 		reg = obs.NewRegistry()
 		srv = server.New(server.Options{
-			BatchLimit:        cfg.batchLimit,
-			Shards:            cfg.shards,
-			DisableEncodeOnce: cfg.noEncodeOnce,
-			Metrics:           reg,
+			BatchLimit:               cfg.batchLimit,
+			Shards:                   cfg.shards,
+			DisableEncodeOnce:        cfg.noEncodeOnce,
+			DisableMemberAttribution: cfg.noMemberAttr,
+			Metrics:                  reg,
 		})
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

@@ -11,7 +11,8 @@
 //
 // With -metrics-url pointing at cosoftd's -metrics-addr listener, the
 // `trace` command fetches and pretty-prints the server's recent causal
-// spans and flight-recorder entries.
+// spans and flight-recorder entries, and the `groups` command renders
+// per-coupling-group health with straggler attribution.
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 	user := flag.String("user", os.Getenv("USER"), "user name for the registration record")
 	host := flag.String("host", hostname(), "host name for the registration record")
 	spec := flag.String("spec", "", "optional widget spec to build and declare on startup")
-	metricsURL := flag.String("metrics-url", "", "cosoftd observability endpoint for the trace command, e.g. http://localhost:9090 (empty = disabled)")
+	metricsURL := flag.String("metrics-url", "", "cosoftd observability endpoint for the trace and groups commands, e.g. http://localhost:9090 (empty = disabled)")
 	logLevel := flag.String("log-level", "", "structured log level: debug, info, warn or error (empty = logging disabled)")
 	flag.Parse()
 

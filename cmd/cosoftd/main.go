@@ -6,8 +6,12 @@
 // With -metrics-addr set, an HTTP listener additionally serves the
 // observability surface:
 //
-//	/metrics          JSON snapshot of every counter, gauge and histogram
-//	                  (?name=<prefix> restricts to matching metric names)
+//	/metrics          JSON snapshot of every counter, gauge, histogram and
+//	                  metric family (?name=<prefix> restricts to matching
+//	                  metric names, ?format=prom emits Prometheus text
+//	                  exposition format instead)
+//	/debug/groups     per-coupling-group health: topology, lock holder,
+//	                  pending events, and per-member straggler attribution
 //	/debug/trace      recent causal spans and per-connection flight-recorder
 //	                  entries (?trace=<hex id> selects one trace,
 //	                  ?format=chrome emits Chrome trace-event JSON for
@@ -19,7 +23,8 @@
 //
 //	cosoftd [-listen :7817] [-metrics-addr :9090] [-history 32]
 //	        [-ordered-locking] [-shards N] [-heartbeat 5s] [-event-deadline 10s]
-//	        [-outbox-limit 1024] [-batch-limit 32] [-trace-buffer 4096]
+//	        [-outbox-limit 1024] [-batch-limit 32] [-no-encode-once]
+//	        [-no-member-attr] [-trace-buffer 4096]
 //	        [-flight-depth 64] [-log-level info] [-v]
 package main
 
@@ -57,6 +62,7 @@ func main() {
 	outboxLimit := flag.Int("outbox-limit", 0, "per-client outbox high-water mark; clients over it for more than a second are evicted (0 = unbounded)")
 	batchLimit := flag.Int("batch-limit", 0, "max envelopes packed into one Batch frame for batch-aware clients (0 or 1 = batching disabled)")
 	noEncodeOnce := flag.Bool("no-encode-once", false, "re-encode the Exec body per member on broadcast instead of sharing one encoded buffer (ablation; wire bytes are identical)")
+	noMemberAttr := flag.Bool("no-member-attr", false, "skip per-member straggler attribution on the ack path (ablation; /debug/groups reports topology only)")
 	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceBuffer, "causal-trace span ring size (0 = tracing disabled)")
 	flightDepth := flag.Int("flight-depth", obs.DefaultFlightDepth, "per-connection flight-recorder depth (0 = disabled)")
 	logLevel := flag.String("log-level", "", "structured log level: debug, info, warn or error (empty = logging disabled)")
@@ -65,15 +71,16 @@ func main() {
 
 	metrics := obs.NewRegistry()
 	opts := server.Options{
-		HistoryDepth:      *history,
-		OrderedLocking:    *ordered,
-		Shards:            *shards,
-		Heartbeat:         *heartbeat,
-		EventDeadline:     *eventDeadline,
-		OutboxLimit:       *outboxLimit,
-		BatchLimit:        *batchLimit,
-		Metrics:           metrics,
-		DisableEncodeOnce: *noEncodeOnce,
+		HistoryDepth:             *history,
+		OrderedLocking:           *ordered,
+		Shards:                   *shards,
+		Heartbeat:                *heartbeat,
+		EventDeadline:            *eventDeadline,
+		OutboxLimit:              *outboxLimit,
+		BatchLimit:               *batchLimit,
+		Metrics:                  metrics,
+		DisableEncodeOnce:        *noEncodeOnce,
+		DisableMemberAttribution: *noMemberAttr,
 	}
 	if *verbose {
 		logger := log.New(os.Stderr, "cosoftd: ", log.LstdFlags|log.Lmicroseconds)
@@ -115,7 +122,7 @@ func main() {
 		fmt.Printf("cosoftd: metrics on http://%s/metrics, traces on http://%s/debug/trace\n",
 			mlis.Addr(), mlis.Addr())
 		go func() {
-			if err := http.Serve(mlis, metricsMux(metrics, opts.Tracer, opts.Flight)); err != nil && !errors.Is(err, net.ErrClosed) {
+			if err := http.Serve(mlis, metricsMux(metrics, opts.Tracer, opts.Flight, srv)); err != nil && !errors.Is(err, net.ErrClosed) {
 				fmt.Fprintf(os.Stderr, "cosoftd: metrics serve: %v\n", err)
 			}
 		}()
@@ -176,24 +183,46 @@ type traceDump struct {
 	Flight map[string][]obs.FlightEntry `json:"flight,omitempty"`
 }
 
-// metricsMux builds the observability mux: the JSON snapshot, the causal
-// trace dump, expvar, and the pprof profiles (registered explicitly; we
-// serve a private mux, not http.DefaultServeMux). tr and fr may be nil, in
-// which case /debug/trace reports empty collections.
-func metricsMux(metrics *obs.Registry, tr *obs.Tracer, fr *obs.FlightRecorder) *http.ServeMux {
+// metricsMux builds the observability mux: the JSON snapshot (or Prometheus
+// exposition with ?format=prom), the group health plane, the causal trace
+// dump, expvar, and the pprof profiles (registered explicitly; we serve a
+// private mux, not http.DefaultServeMux). tr and fr may be nil, in which case
+// /debug/trace reports empty collections; srv may be nil, in which case
+// /debug/groups reports 503.
+func metricsMux(metrics *obs.Registry, tr *obs.Tracer, fr *obs.FlightRecorder, srv *server.Server) *http.ServeMux {
 	publishExpvarOnce.Do(func() {
 		expvar.Publish("cosoft", expvar.Func(func() any { return metrics.Snapshot() }))
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		prefix := r.URL.Query().Get("name")
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			if err := metrics.WritePrometheus(w, prefix); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		snap := metrics.Snapshot()
-		if prefix := r.URL.Query().Get("name"); prefix != "" {
+		if prefix != "" {
 			snap = filterSnapshot(snap, prefix)
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/groups", func(w http.ResponseWriter, r *http.Request) {
+		if srv == nil {
+			http.Error(w, "no server attached", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(srv.Health()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -253,6 +282,14 @@ func filterSnapshot(snap obs.Snapshot, prefix string) obs.Snapshot {
 	for name, v := range snap.Histograms {
 		if strings.HasPrefix(name, prefix) {
 			out.Histograms[name] = v
+		}
+	}
+	for name, v := range snap.Families {
+		if strings.HasPrefix(name, prefix) {
+			if out.Families == nil {
+				out.Families = make(map[string]obs.FamilySnapshot)
+			}
+			out.Families[name] = v
 		}
 	}
 	return out

@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultFamilyCap bounds the number of live entries a Family keeps when the
+// schema does not name its own cap. Past the cap the least-recently-touched
+// entry is evicted, so a misbehaving key space (one entry per request, say)
+// degrades reporting instead of memory.
+const DefaultFamilyCap = 1024
+
+// ewmaAlpha is the smoothing factor for EWMA.Observe: new = old + α(v-old).
+// 1/8 is the classic TCP SRTT gain — heavy enough smoothing to survive one
+// outlier, light enough to track a member that turns chronically slow within
+// a few tens of events.
+const ewmaAlpha = 0.125
+
+// EWMA is an exponentially weighted moving average with atomic updates. The
+// first observation seeds the average directly; later observations fold in
+// with gain ewmaAlpha. Like every obs handle it is nil-safe: methods on a
+// nil receiver do nothing and allocate nothing.
+type EWMA struct {
+	bits atomic.Uint64 // math.Float64bits of the current average
+	n    atomic.Uint64 // observation count; 0 means unseeded
+}
+
+// Observe folds v into the average.
+func (e *EWMA) Observe(v float64) {
+	if e == nil {
+		return
+	}
+	if e.n.Add(1) == 1 {
+		e.bits.Store(math.Float64bits(v))
+		return
+	}
+	for {
+		old := e.bits.Load()
+		avg := math.Float64frombits(old)
+		next := avg + ewmaAlpha*(v-avg)
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration folds a duration, in nanoseconds, into the average.
+func (e *EWMA) ObserveDuration(d int64) { e.Observe(float64(d)) }
+
+// Value returns the current average, or 0 before the first observation.
+func (e *EWMA) Value() float64 {
+	if e == nil {
+		return 0
+	}
+	return math.Float64frombits(e.bits.Load())
+}
+
+// Count returns the number of observations folded in so far.
+func (e *EWMA) Count() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.n.Load()
+}
+
+// FamilySchema declares the per-key sub-metrics of a Family. Sub-metric
+// names extend the family name with a dot (family "server.member" with
+// counter "acks" snapshots and exports as "server.member.acks").
+type FamilySchema struct {
+	// Counters are per-key counter names, addressed by index at the call
+	// site (Entry.Counter(i) with i matching the declaration order).
+	Counters []string
+	// Hist, when non-empty, gives each key a latency histogram.
+	Hist string
+	// EWMA, when non-empty, gives each key an exponentially weighted
+	// moving average.
+	EWMA string
+	// Label is the Prometheus label name for the key ("key" when empty).
+	Label string
+	// Cap bounds live entries (DefaultFamilyCap when zero).
+	Cap int
+}
+
+// Family is a bounded-cardinality labeled metric: one Entry per string key,
+// each bundling the counters/histogram/EWMA named by the schema. Entries are
+// created on first Get and evicted least-recently-gotten past the cap.
+//
+// The intended split: Get takes the family mutex and belongs on setup or
+// cold paths; hot paths resolve an Entry once (per connection, per session)
+// and update it lock-free through its atomic sub-metrics. A cached Entry
+// that has since been evicted still absorbs updates safely — they just no
+// longer appear in snapshots, which is the bounded-cardinality bargain.
+type Family struct {
+	name   string
+	schema FamilySchema
+
+	mu      sync.Mutex
+	entries map[string]*FamilyEntry
+	// Intrusive LRU list, most-recent at head; guarded by mu.
+	head, tail *FamilyEntry
+}
+
+// FamilyEntry is one key's bundle of sub-metrics. Update methods are
+// atomic and nil-safe, so entries can be shared across goroutines and the
+// disabled path (nil family, nil entry) costs nothing.
+type FamilyEntry struct {
+	key        string
+	counters   []Counter
+	hist       Histogram
+	avg        EWMA
+	prev, next *FamilyEntry // LRU links, guarded by Family.mu
+}
+
+func newFamily(name string, schema FamilySchema) *Family {
+	if schema.Cap <= 0 {
+		schema.Cap = DefaultFamilyCap
+	}
+	if schema.Label == "" {
+		schema.Label = "key"
+	}
+	return &Family{
+		name:    name,
+		schema:  schema,
+		entries: make(map[string]*FamilyEntry),
+	}
+}
+
+// Name returns the family name.
+func (f *Family) Name() string {
+	if f == nil {
+		return ""
+	}
+	return f.name
+}
+
+// Get returns the entry for key, creating it (and evicting the coldest
+// entry past the cap) on first use. Nil on a nil family.
+func (f *Family) Get(key string) *FamilyEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.entries[key]
+	if ok {
+		f.touch(e)
+		return e
+	}
+	e = &FamilyEntry{key: key, counters: make([]Counter, len(f.schema.Counters))}
+	f.entries[key] = e
+	f.pushFront(e)
+	if len(f.entries) > f.schema.Cap {
+		cold := f.tail
+		f.unlink(cold)
+		delete(f.entries, cold.key)
+	}
+	return e
+}
+
+// Peek returns the entry for key without creating one or refreshing its LRU
+// position — the read path for reporting. Nil when absent or disabled.
+func (f *Family) Peek(key string) *FamilyEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.entries[key]
+}
+
+// Len returns the number of live entries.
+func (f *Family) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.entries)
+}
+
+func (f *Family) touch(e *FamilyEntry) {
+	if f.head == e {
+		return
+	}
+	f.unlink(e)
+	f.pushFront(e)
+}
+
+func (f *Family) pushFront(e *FamilyEntry) {
+	e.prev, e.next = nil, f.head
+	if f.head != nil {
+		f.head.prev = e
+	}
+	f.head = e
+	if f.tail == nil {
+		f.tail = e
+	}
+}
+
+func (f *Family) unlink(e *FamilyEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		f.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		f.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// Key returns the entry's key.
+func (e *FamilyEntry) Key() string {
+	if e == nil {
+		return ""
+	}
+	return e.key
+}
+
+// Counter returns the i-th schema counter, nil when out of range or on a
+// nil entry — so call sites never index-check.
+func (e *FamilyEntry) Counter(i int) *Counter {
+	if e == nil || i < 0 || i >= len(e.counters) {
+		return nil
+	}
+	return &e.counters[i]
+}
+
+// Hist returns the entry's histogram (nil-safe; valid even when the schema
+// declared none — it is just never snapshotted then).
+func (e *FamilyEntry) Hist() *Histogram {
+	if e == nil {
+		return nil
+	}
+	return &e.hist
+}
+
+// EWMA returns the entry's moving average (nil-safe, same caveat as Hist).
+func (e *FamilyEntry) EWMA() *EWMA {
+	if e == nil {
+		return nil
+	}
+	return &e.avg
+}
+
+// FamilyEntrySnapshot digests one key of a family.
+type FamilyEntrySnapshot struct {
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	EWMA     float64           `json:"ewma,omitempty"`
+	Hist     Summary           `json:"hist,omitempty"`
+}
+
+// FamilySnapshot digests a whole family: schema echoes plus per-key entries.
+type FamilySnapshot struct {
+	Label   string                         `json:"label"`
+	Entries map[string]FamilyEntrySnapshot `json:"entries"`
+}
+
+// Snapshot digests every live entry.
+func (f *Family) Snapshot() FamilySnapshot {
+	if f == nil {
+		return FamilySnapshot{}
+	}
+	f.mu.Lock()
+	entries := make(map[string]*FamilyEntry, len(f.entries))
+	for key, e := range f.entries {
+		entries[key] = e
+	}
+	f.mu.Unlock()
+
+	snap := FamilySnapshot{
+		Label:   f.schema.Label,
+		Entries: make(map[string]FamilyEntrySnapshot, len(entries)),
+	}
+	for key, e := range entries {
+		es := FamilyEntrySnapshot{}
+		if len(f.schema.Counters) > 0 {
+			es.Counters = make(map[string]uint64, len(f.schema.Counters))
+			for i, cname := range f.schema.Counters {
+				es.Counters[cname] = e.counters[i].Value()
+			}
+		}
+		if f.schema.EWMA != "" {
+			es.EWMA = e.avg.Value()
+		}
+		if f.schema.Hist != "" {
+			es.Hist = e.hist.Summary()
+		}
+		snap.Entries[key] = es
+	}
+	return snap
+}

@@ -13,6 +13,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -27,6 +28,7 @@ type Sink interface {
 	Counter(name string) *Counter
 	Gauge(name string) *Gauge
 	Histogram(name string) *Histogram
+	Family(name string, schema FamilySchema) *Family
 }
 
 // Disabled is the no-op Sink: every handle it returns is nil, and methods
@@ -35,9 +37,10 @@ var Disabled Sink = disabled{}
 
 type disabled struct{}
 
-func (disabled) Counter(string) *Counter     { return nil }
-func (disabled) Gauge(string) *Gauge         { return nil }
-func (disabled) Histogram(string) *Histogram { return nil }
+func (disabled) Counter(string) *Counter             { return nil }
+func (disabled) Gauge(string) *Gauge                 { return nil }
+func (disabled) Histogram(string) *Histogram         { return nil }
+func (disabled) Family(string, FamilySchema) *Family { return nil }
 
 // Or returns s, or Disabled when s is nil — the idiom for optional
 // Options.Metrics fields.
@@ -70,6 +73,25 @@ func (c *Counter) Value() uint64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// Start returns the current time for a later AddSince, or the zero time
+// when the counter is disabled — so the disabled path never reads the
+// clock. The pair turns a Counter into a cheap busy-time accumulator.
+func (c *Counter) Start() time.Time {
+	if c == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// AddSince adds the nanoseconds elapsed since t0. A zero t0 (from a
+// disabled Start) is ignored.
+func (c *Counter) AddSince(t0 time.Time) {
+	if c == nil || t0.IsZero() {
+		return
+	}
+	c.v.Add(uint64(time.Since(t0)))
 }
 
 // Gauge is an instantaneous value that also remembers its high-water mark.
@@ -134,6 +156,9 @@ type Histogram struct {
 	count atomic.Uint64
 	sum   atomic.Int64
 	max   atomic.Int64
+	// minP1 holds min+1 so the zero value means "no observations yet";
+	// observed values are clamped non-negative, so min+1 never overflows.
+	minP1 atomic.Int64
 	b     [histBuckets]atomic.Uint64
 }
 
@@ -150,6 +175,12 @@ func (h *Histogram) Observe(v int64) {
 	for {
 		cur := h.max.Load()
 		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.minP1.Load()
+		if (cur != 0 && v+1 >= cur) || h.minP1.CompareAndSwap(cur, v+1) {
 			break
 		}
 	}
@@ -186,6 +217,7 @@ type Summary struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	Min   int64   `json:"min"`
 	Max   int64   `json:"max"`
 }
 
@@ -206,13 +238,52 @@ func (h *Histogram) Summary() Summary {
 	if total == 0 {
 		return s
 	}
+	if mp1 := h.minP1.Load(); mp1 > 0 {
+		s.Min = mp1 - 1
+	}
 	s.Mean = float64(h.sum.Load()) / float64(total)
 	// Interpolation can overshoot the largest observation within its
-	// power-of-two bucket, so cap every quantile at the tracked max.
-	s.P50 = min(quantile(&buckets, total, 0.50), float64(s.Max))
-	s.P95 = min(quantile(&buckets, total, 0.95), float64(s.Max))
-	s.P99 = min(quantile(&buckets, total, 0.99), float64(s.Max))
+	// power-of-two bucket (and undershoot the smallest), so clamp every
+	// quantile to the tracked [min, max] envelope.
+	s.P50 = clampQ(quantile(&buckets, total, 0.50), s.Min, s.Max)
+	s.P95 = clampQ(quantile(&buckets, total, 0.95), s.Min, s.Max)
+	s.P99 = clampQ(quantile(&buckets, total, 0.99), s.Min, s.Max)
 	return s
+}
+
+// clampQ clamps an interpolated quantile to the observed value envelope.
+func clampQ(q float64, lo, hi int64) float64 {
+	return min(max(q, float64(lo)), float64(hi))
+}
+
+// Buckets copies out the raw per-bucket counts alongside the running count
+// and sum — the accessor Prometheus exposition needs to emit real
+// cumulative le-series instead of a precomputed digest.
+func (h *Histogram) Buckets() (b [histBuckets]uint64, count uint64, sum int64) {
+	if h == nil {
+		return
+	}
+	for i := range h.b {
+		b[i] = h.b[i].Load()
+	}
+	return b, h.count.Load(), h.sum.Load()
+}
+
+// NumHistBuckets is the fixed bucket count, exported for consumers of
+// Buckets. Bucket 0 holds zeros; bucket k holds [2^(k-1), 2^k).
+const NumHistBuckets = histBuckets
+
+// BucketLE returns the inclusive integer upper bound of bucket i — the
+// largest observation the bucket can hold. Observations are integral, so
+// this is an exact Prometheus "le" bound, not an approximation.
+func BucketLE(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= histBuckets-1:
+		return math.MaxInt64 // top bucket absorbs everything above 2^62
+	}
+	return int64(1)<<i - 1
 }
 
 // quantile locates the bucket holding the q-th ranked observation and
@@ -251,6 +322,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	families map[string]*Family
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -259,6 +331,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		families: make(map[string]*Family),
 	}
 }
 
@@ -298,6 +371,20 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Family returns the named family, creating it with schema on first use.
+// Later calls return the existing family regardless of schema, matching the
+// one-name-one-handle contract of the other kinds.
+func (r *Registry) Family(name string, schema FamilySchema) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = newFamily(name, schema)
+		r.families[name] = f
+	}
+	return f
+}
+
 // GaugeValue is a gauge's snapshot: current reading and high-water mark.
 type GaugeValue struct {
 	Value     int64 `json:"value"`
@@ -307,9 +394,10 @@ type GaugeValue struct {
 // Snapshot is a point-in-time copy of every metric in a registry. It
 // marshals directly to the JSON served by cosoftd's -metrics-addr endpoint.
 type Snapshot struct {
-	Counters   map[string]uint64     `json:"counters"`
-	Gauges     map[string]GaugeValue `json:"gauges"`
-	Histograms map[string]Summary    `json:"histograms"`
+	Counters   map[string]uint64         `json:"counters"`
+	Gauges     map[string]GaugeValue     `json:"gauges"`
+	Histograms map[string]Summary        `json:"histograms"`
+	Families   map[string]FamilySnapshot `json:"families,omitempty"`
 }
 
 // Snapshot digests every registered metric.
@@ -327,6 +415,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.hists {
 		hists[name] = h
 	}
+	families := make(map[string]*Family, len(r.families))
+	for name, f := range r.families {
+		families[name] = f
+	}
 	r.mu.Unlock()
 
 	snap := Snapshot{
@@ -343,6 +435,12 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range hists {
 		snap.Histograms[name] = h.Summary()
 	}
+	if len(families) > 0 {
+		snap.Families = make(map[string]FamilySnapshot, len(families))
+		for name, f := range families {
+			snap.Families[name] = f.Snapshot()
+		}
+	}
 	return snap
 }
 
@@ -350,7 +448,7 @@ func (r *Registry) Snapshot() Snapshot {
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.families))
 	for name := range r.counters {
 		names = append(names, name)
 	}
@@ -358,6 +456,9 @@ func (r *Registry) Names() []string {
 		names = append(names, name)
 	}
 	for name := range r.hists {
+		names = append(names, name)
+	}
+	for name := range r.families {
 		names = append(names, name)
 	}
 	sort.Strings(names)

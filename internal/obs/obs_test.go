@@ -108,6 +108,80 @@ func TestHistogramSummary(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantilePinned pins quantile estimates on distributions with
+// known answers: within-bucket linear interpolation plus the [min, max]
+// clamp must land close to the true value, not on a power-of-two bucket
+// boundary (which would be up to 2x off).
+func TestHistogramQuantilePinned(t *testing.T) {
+	// Uniform 1..1024: every bucket k holds exactly its 2^(k-1) integers,
+	// so interpolation is near-exact. True p50 = 512, p95 = 972.8, p99 = 1013.76.
+	u := NewRegistry().Histogram("uniform")
+	for v := int64(1); v <= 1024; v++ {
+		u.Observe(v)
+	}
+	s := u.Summary()
+	if s.Min != 1 || s.Max != 1024 {
+		t.Fatalf("envelope = [%d, %d]", s.Min, s.Max)
+	}
+	pin := func(name string, got, want, tol float64) {
+		t.Helper()
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s = %g, want %g +/- %g", name, got, want, tol)
+		}
+	}
+	pin("uniform p50", s.P50, 512, 2)
+	pin("uniform p95", s.P95, 973, 3)
+	pin("uniform p99", s.P99, 1014, 3)
+
+	// Constant distribution: every quantile must collapse onto the single
+	// observed value via the envelope clamp, despite the wide bucket.
+	c := NewRegistry().Histogram("const")
+	for i := 0; i < 1000; i++ {
+		c.Observe(700)
+	}
+	s = c.Summary()
+	if s.P50 != 700 || s.P95 != 700 || s.P99 != 700 || s.Min != 700 {
+		t.Errorf("constant summary = %+v, want all quantiles 700", s)
+	}
+
+	// Bimodal: 90 fast (all 1000) + 10 slow (all 1_000_000). p50 ranks in
+	// the fast mode's bucket, p99 in the slow mode's; neither may bleed
+	// into the other or past the observed envelope.
+	bi := NewRegistry().Histogram("bimodal")
+	for i := 0; i < 90; i++ {
+		bi.Observe(1000)
+	}
+	for i := 0; i < 10; i++ {
+		bi.Observe(1_000_000)
+	}
+	s = bi.Summary()
+	if s.P50 < 1000 || s.P50 >= 1024 {
+		t.Errorf("bimodal p50 = %g, want within the fast bucket and >= min mode", s.P50)
+	}
+	if s.P99 < 512*1024 || s.P99 > 1_000_000 {
+		t.Errorf("bimodal p99 = %g, want within the slow mode's bucket", s.P99)
+	}
+}
+
+func TestHistogramMinTracking(t *testing.T) {
+	h := NewRegistry().Histogram("m")
+	h.Observe(500)
+	h.Observe(300)
+	h.Observe(900)
+	if s := h.Summary(); s.Min != 300 {
+		t.Errorf("min = %d", s.Min)
+	}
+	// Zero observations keep Min at zero without the sentinel leaking.
+	z := NewRegistry().Histogram("z")
+	if s := z.Summary(); s.Min != 0 {
+		t.Errorf("empty min = %d", s.Min)
+	}
+	z.Observe(0)
+	if s := z.Summary(); s.Min != 0 || s.Count != 1 {
+		t.Errorf("zero-valued min = %+v", s)
+	}
+}
+
 func TestHistogramZeroAndNegative(t *testing.T) {
 	h := NewRegistry().Histogram("z")
 	h.Observe(0)

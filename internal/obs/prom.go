@@ -1,0 +1,216 @@
+// Prometheus text-format (version 0.0.4) exposition for a Registry.
+//
+// Metric names are mangled to the Prometheus charset — dots become
+// underscores under a "cosoft_" prefix — and every kind maps to its native
+// Prometheus type: counters to counter, gauges to a gauge pair
+// (value + _high_water), histograms to real cumulative le-series built from
+// the raw power-of-two buckets, and families to labeled series, one label
+// pair per entry key. The JSON snapshot surface is unchanged; this is a
+// second renderer over the same registry.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromContentType is the Content-Type an HTTP handler should serve
+// WritePrometheus output under.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promPrefix namespaces every exported series.
+const promPrefix = "cosoft_"
+
+// WritePrometheus writes every registered metric in Prometheus text format.
+// A non-empty prefix restricts output to metric names with that prefix
+// (matched against the registry name, e.g. "server.", not the mangled one).
+func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	families := make(map[string]*Family, len(r.families))
+	for name, f := range r.families {
+		families[name] = f
+	}
+	r.mu.Unlock()
+
+	bw := &promWriter{w: w}
+	for _, name := range sortedKeys(counters) {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		pn := promName(name)
+		bw.header(pn, "counter")
+		bw.sample(pn, "", float64(counters[name].Value()))
+	}
+	for _, name := range sortedKeys(gauges) {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		g := gauges[name]
+		pn := promName(name)
+		bw.header(pn, "gauge")
+		bw.sample(pn, "", float64(g.Value()))
+		bw.header(pn+"_high_water", "gauge")
+		bw.sample(pn+"_high_water", "", float64(g.HighWater()))
+	}
+	for _, name := range sortedKeys(hists) {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		pn := promName(name)
+		bw.header(pn, "histogram")
+		bw.histogram(pn, "", hists[name])
+	}
+	for _, name := range sortedKeys(families) {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		bw.family(families[name])
+	}
+	return bw.err
+}
+
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (bw *promWriter) printf(format string, args ...any) {
+	if bw.err != nil {
+		return
+	}
+	_, bw.err = fmt.Fprintf(bw.w, format, args...)
+}
+
+func (bw *promWriter) header(name, kind string) {
+	bw.printf("# TYPE %s %s\n", name, kind)
+}
+
+// sample writes one series line; labels is either empty or a rendered
+// `name="value"` list without braces.
+func (bw *promWriter) sample(name, labels string, v float64) {
+	if labels == "" {
+		bw.printf("%s %s\n", name, promFloat(v))
+		return
+	}
+	bw.printf("%s{%s} %s\n", name, labels, promFloat(v))
+}
+
+// histogram emits the cumulative le-series plus _sum and _count. Only
+// occupied buckets get their own le line (64 mostly-empty lines per
+// histogram would drown the output); the mandatory +Inf bucket always
+// appears and always equals _count.
+func (bw *promWriter) histogram(name, labels string, h *Histogram) {
+	b, count, sum := h.Buckets()
+	var cum uint64
+	for i, n := range b {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		bw.bucketSample(name, labels, fmt.Sprintf("%d", BucketLE(i)), cum)
+	}
+	bw.bucketSample(name, labels, "+Inf", count)
+	bw.sample(name+"_sum", labels, float64(sum))
+	bw.sample(name+"_count", labels, float64(count))
+}
+
+func (bw *promWriter) bucketSample(name, labels, le string, v uint64) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	bw.printf("%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, v)
+}
+
+// family renders each schema sub-metric as one labeled series per entry.
+func (bw *promWriter) family(f *Family) {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.entries))
+	entries := make(map[string]*FamilyEntry, len(f.entries))
+	for key, e := range f.entries {
+		keys = append(keys, key)
+		entries[key] = e
+	}
+	f.mu.Unlock()
+	sort.Strings(keys)
+
+	label := f.schema.Label
+	for i, cname := range f.schema.Counters {
+		pn := promName(f.name + "." + cname)
+		bw.header(pn, "counter")
+		for _, key := range keys {
+			bw.sample(pn, promLabel(label, key), float64(entries[key].counters[i].Value()))
+		}
+	}
+	if f.schema.EWMA != "" {
+		pn := promName(f.name + "." + f.schema.EWMA)
+		bw.header(pn, "gauge")
+		for _, key := range keys {
+			bw.sample(pn, promLabel(label, key), entries[key].avg.Value())
+		}
+	}
+	if f.schema.Hist != "" {
+		pn := promName(f.name + "." + f.schema.Hist)
+		bw.header(pn, "histogram")
+		for _, key := range keys {
+			bw.histogram(pn, promLabel(label, key), &entries[key].hist)
+		}
+	}
+}
+
+// promName mangles a registry name into the Prometheus metric charset
+// [a-zA-Z_:][a-zA-Z0-9_:]* under the cosoft_ prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promPrefix) + len(name))
+	b.WriteString(promPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel renders one label pair, escaping the value per the text format
+// (backslash, double-quote, newline).
+func promLabel(name, value string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return name + `="` + r.Replace(value) + `"`
+}
+
+// promFloat formats a sample value; integral floats render without an
+// exponent so counters read naturally.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -135,6 +135,7 @@ func init() {
 		"redo":      (*REPL).cmdRedo,
 		"send":      (*REPL).cmdSend,
 		"trace":     (*REPL).cmdTrace,
+		"groups":    (*REPL).cmdGroups,
 	}
 }
 
@@ -157,6 +158,7 @@ var helpText = map[string]string{
 	"redo":      "redo <path> — re-apply the last undone state",
 	"send":      "send <command> [instance] <text> — CoSendCommand to one instance or broadcast",
 	"trace":     "trace [trace-id] — fetch and pretty-print recent causal spans and flight-recorder entries (needs -metrics-url)",
+	"groups":    "groups — fetch per-group health: lock holder, pending events, straggler attribution (needs -metrics-url)",
 }
 
 func (r *REPL) cmdHelp(args []string, raw string) error {

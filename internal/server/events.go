@@ -186,6 +186,10 @@ func (s *Server) timeoutEvent(sh *shard, id uint64) {
 	stragglers := make([]string, 0, len(pe.waiting))
 	for inst := range pe.waiting {
 		stragglers = append(stragglers, string(inst))
+		// Deadline drops are attributed per member: every instance still in
+		// the wait set when the deadline fires gets a timeout mark. This is
+		// a cold path, so the family lookup's lock is fine.
+		s.mMember.Get(string(inst)).Counter(memberTimeouts).Inc()
 	}
 	sort.Strings(stragglers)
 	s.mEventTOs.Inc()
@@ -205,21 +209,34 @@ func (s *Server) timeoutEvent(sh *shard, id uint64) {
 // reach this path.)
 func (s *Server) handleBatchAck(sh *shard, cl *client, m wire.BatchAck) {
 	s.mAcksCoalesced.Add(uint64(len(m.Acks)))
+	now := s.ackClock()
 	for _, a := range m.Acks {
-		s.ackExec(sh, cl, a.EventID, a.Trace)
+		s.ackExec(sh, cl, a.EventID, a.Trace, now)
 	}
+}
+
+// ackClock reads the clock once for a coalesced run of acks, so per-member
+// latency attribution costs one clock read per BatchAck frame rather than one
+// per entry. Zero when attribution is off — ackExec then reads the clock
+// itself if metrics need it (and skips it entirely when they are disabled).
+func (s *Server) ackClock() time.Time {
+	if s.mMember == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // ackExec is the shared ack-resolution core: decrement cl's outstanding
 // count for the event and unlock the group when the wait set empties. It
 // runs on the event's birth shard; if the event migrated with its group, the
-// ack is forwarded to the current owner.
-func (s *Server) ackExec(sh *shard, cl *client, eventID uint64, tc obs.TraceContext) {
+// ack is forwarded to the current owner. now is the batch-hoisted ack clock
+// (see ackClock); zero means read it here if attribution needs it.
+func (s *Server) ackExec(sh *shard, cl *client, eventID uint64, tc obs.TraceContext, now time.Time) {
 	pe, ok := sh.pending[eventID]
 	if !ok {
 		// Stale ack (event already resolved by a deadline or disconnect) —
 		// unless the event migrated, in which case chase it.
-		s.forwardEventMiss(sh, eventID, func(to *shard) { s.ackExec(to, cl, eventID, tc) })
+		s.forwardEventMiss(sh, eventID, func(to *shard) { s.ackExec(to, cl, eventID, tc, now) })
 		return
 	}
 	if pe.waiting[cl.id] == 0 {
@@ -229,6 +246,24 @@ func (s *Server) ackExec(sh *shard, cl *client, eventID uint64, tc obs.TraceCont
 	pe.waiting[cl.id]--
 	if pe.waiting[cl.id] == 0 {
 		delete(pe.waiting, cl.id)
+	}
+	// Straggler attribution: charge this ack's latency (Event arrival →
+	// now) to the acking member, and when the wait set just emptied, credit
+	// it as the event's last acker — the member the whole group blocked on.
+	// cl.health is the entry cached at admission, so this is lock-free; it
+	// is nil when attribution or metrics are disabled, and pe.start is zero
+	// then too, so the clock is never read on the disabled path.
+	if e := cl.health; e != nil && !pe.start.IsZero() {
+		if now.IsZero() {
+			now = time.Now()
+		}
+		lat := int64(now.Sub(pe.start))
+		e.Hist().Observe(lat)
+		e.EWMA().Observe(float64(lat))
+		e.Counter(memberAcks).Inc()
+		if len(pe.waiting) == 0 {
+			e.Counter(memberLastAcks).Inc()
+		}
 	}
 	if len(pe.waiting) == 0 {
 		s.finishEvent(sh, eventID, pe, false)

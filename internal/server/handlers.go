@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"cosoft/internal/couple"
 	"cosoft/internal/lock"
@@ -38,7 +39,7 @@ func (s *Server) handle(cl *client, env wire.Envelope) {
 		// never sees these three message types.
 		s.handleEvent(s.shards[0], cl, env.Seq, m, env.Trace)
 	case wire.ExecAck:
-		s.ackExec(s.shards[0], cl, m.EventID, env.Trace)
+		s.ackExec(s.shards[0], cl, m.EventID, env.Trace, time.Time{})
 	case wire.BatchAck:
 		s.handleBatchAck(s.shards[0], cl, m)
 	case wire.CopyTo:

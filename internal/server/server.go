@@ -87,6 +87,11 @@ type Options struct {
 	// the ablation/benchmark switch for the encode-once path. The bytes on
 	// the wire are identical either way.
 	DisableEncodeOnce bool
+	// DisableMemberAttribution turns off the per-member health family
+	// (server.member.*): ExecAck latency, last-acker and timeout attribution
+	// are skipped and /debug/groups reports topology without member stats —
+	// the ablation/benchmark switch for the straggler-attribution path.
+	DisableMemberAttribution bool
 	// Metrics receives the server's counters, gauges and latency
 	// histograms. Nil means a private enabled registry (so Stats keeps
 	// working); pass obs.Disabled to remove all measurement cost.
@@ -168,9 +173,26 @@ type Server struct {
 	mShards        *obs.Gauge     // server.shards: configured shard count
 	mHandoffs      *obs.Counter   // server.cross_shard_handoffs: group migrations between shards
 	mEventTOWait   *obs.Histogram // server.event_timeout_wait_ns: wait span of deadline-resolved events
+	mGlobalBusy    *obs.Counter   // server.global.busy_ns: time the global loop spent executing closures
+	mGlobalDepth   *obs.Gauge     // server.global.queue_depth: global request-channel depth, sampled per dequeue
+
+	// mMember attributes event health to individual members: per-instance
+	// ack latency (histogram + EWMA), ack/last-acker/timeout counters. Nil
+	// when metrics are disabled or DisableMemberAttribution is set.
+	mMember *obs.Family
+
+	// started anchors loop-utilization ratios in HealthReport.
+	started time.Time
 
 	closeOnce sync.Once
 }
+
+// Indices into the server.member family's counter schema.
+const (
+	memberAcks     = iota // ExecAcks received from the member
+	memberLastAcks        // times the member was the last acker (critical path)
+	memberTimeouts        // events that expired while waiting on the member
+)
 
 // Stats is a snapshot of server counters. It stays a comparable struct
 // (scalar fields only) so callers can diff snapshots with ==.
@@ -249,6 +271,10 @@ type client struct {
 	user string
 	conn *wire.Conn
 	out  *outbox
+	// health is this instance's entry in the server.member family, resolved
+	// once at admission so the ack hot path updates it without taking the
+	// family lock. Nil when member attribution is disabled.
+	health *obs.FamilyEntry
 	// name keys this connection in the flight recorder; it is the remote
 	// address until registration assigns the instance ID.
 	name string
@@ -327,6 +353,18 @@ func New(opts Options) *Server {
 		mShards:        metrics.Gauge("server.shards"),
 		mHandoffs:      metrics.Counter("server.cross_shard_handoffs"),
 		mEventTOWait:   metrics.Histogram("server.event_timeout_wait_ns"),
+		mGlobalBusy:    metrics.Counter("server.global.busy_ns"),
+		mGlobalDepth:   metrics.Gauge("server.global.queue_depth"),
+
+		started: time.Now(),
+	}
+	if !opts.DisableMemberAttribution {
+		s.mMember = metrics.Family("server.member", obs.FamilySchema{
+			Counters: []string{"acks", "last_acks", "timeouts"},
+			Hist:     "ack_ns",
+			EWMA:     "ack_ewma_ns",
+			Label:    "member",
+		})
 	}
 	wire.InstrumentBodyPool(s.mPoolHits, s.mPoolMisses)
 	// Every shard's lock table shares the same metric handles, so the
@@ -339,6 +377,8 @@ func New(opts Options) *Server {
 			history: hist.NewDB(opts.HistoryDepth),
 			pending: make(map[uint64]*pendingEvent),
 			mEvents: metrics.Counter(fmt.Sprintf("server.shard.%d.events", i)),
+			mBusy:   metrics.Counter(fmt.Sprintf("server.shard.%d.busy_ns", i)),
+			mDepth:  metrics.Gauge(fmt.Sprintf("server.shard.%d.queue_depth", i)),
 		}
 		sh.locks.Instrument(s.mLockAttempts, lockFails, s.mLockUndone)
 		sh.locks.TraceWith(opts.Tracer)
@@ -377,13 +417,21 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// loop runs every state mutation in one goroutine.
+// loop runs every state mutation in one goroutine. Each dequeue samples the
+// channel depth and each closure is bracketed with busy-time accounting
+// (server.global.busy_ns / .queue_depth) — both no-ops under obs.Disabled,
+// where Start returns the zero time without reading the clock. With one
+// shard this loop also carries shard 0's traffic, so its time shows up here
+// rather than under server.shard.0.busy_ns.
 func (s *Server) loop() {
 	defer s.wg.Done()
 	for {
 		select {
 		case fn := <-s.reqs:
+			s.mGlobalDepth.Set(int64(len(s.reqs)))
+			t0 := s.mGlobalBusy.Start()
 			fn()
+			s.mGlobalBusy.AddSince(t0)
 		case <-s.quit:
 			// Drain anything already queued, then stop.
 			for {
@@ -492,30 +540,30 @@ func (s *Server) Stats() Stats {
 	result := make(chan Stats, 1)
 	if !s.post(func() {
 		result <- Stats{
-			Events:           s.mEvents.Value(),
-			LockFailures:     s.mLockFails.Value(),
-			ExecsSent:        s.mExecsSent.Value(),
-			Copies:           s.mCopies.Value(),
-			Instances:        s.reg.Len(),
-			Links:            s.graph.Len(),
-			EventRTT:         s.mEventRTT.Summary(),
-			Fanout:           s.mFanout.Summary(),
-			OutboxDepth:      s.mOutboxDepth.Value(),
-			OutboxHighWater:  s.mOutboxDepth.HighWater(),
-			LockAttempts:     s.mLockAttempts.Value(),
-			LockUndone:       s.mLockUndone.Value(),
-			EventTimeouts:    s.mEventTOs.Value(),
-			Evictions:        s.mEvictions.Value(),
-			LivenessTimeouts: s.mLivenessTOs.Value(),
-			Resumes:          s.mResumes.Value(),
-			AcksCoalesced:    s.mAcksCoalesced.Value(),
-			BatchSize:        s.mBatchSize.Summary(),
-			BytesEncoded:     s.mBytesEncoded.Value(),
-			BodyPoolHits:     s.mPoolHits.Value(),
-			BodyPoolMisses:   s.mPoolMisses.Value(),
-			PendingEvents:    s.pendingCount(),
-			EventTimeoutWait: s.mEventTOWait.Summary(),
-			Shards:           s.mShards.Value(),
+			Events:             s.mEvents.Value(),
+			LockFailures:       s.mLockFails.Value(),
+			ExecsSent:          s.mExecsSent.Value(),
+			Copies:             s.mCopies.Value(),
+			Instances:          s.reg.Len(),
+			Links:              s.graph.Len(),
+			EventRTT:           s.mEventRTT.Summary(),
+			Fanout:             s.mFanout.Summary(),
+			OutboxDepth:        s.mOutboxDepth.Value(),
+			OutboxHighWater:    s.mOutboxDepth.HighWater(),
+			LockAttempts:       s.mLockAttempts.Value(),
+			LockUndone:         s.mLockUndone.Value(),
+			EventTimeouts:      s.mEventTOs.Value(),
+			Evictions:          s.mEvictions.Value(),
+			LivenessTimeouts:   s.mLivenessTOs.Value(),
+			Resumes:            s.mResumes.Value(),
+			AcksCoalesced:      s.mAcksCoalesced.Value(),
+			BatchSize:          s.mBatchSize.Summary(),
+			BytesEncoded:       s.mBytesEncoded.Value(),
+			BodyPoolHits:       s.mPoolHits.Value(),
+			BodyPoolMisses:     s.mPoolMisses.Value(),
+			PendingEvents:      s.pendingCount(),
+			EventTimeoutWait:   s.mEventTOWait.Summary(),
+			Shards:             s.mShards.Value(),
 			CrossShardHandoffs: s.mHandoffs.Value(),
 		}
 	}) {
@@ -685,6 +733,9 @@ func (s *Server) admitResume(cl *client, env wire.Envelope, m wire.Resume) strin
 // admit installs a freshly identified client and acknowledges the
 // handshake. It runs on the state loop.
 func (s *Server) admit(cl *client, env wire.Envelope) {
+	// Resolve the member's health entry once; shard loops then attribute
+	// acks through the cached pointer without touching the family lock.
+	cl.health = s.mMember.Get(string(cl.id))
 	s.cmu.Lock()
 	s.clients[cl.id] = cl
 	s.cmu.Unlock()

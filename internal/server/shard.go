@@ -37,6 +37,7 @@ package server
 import (
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"cosoft/internal/couple"
 	"cosoft/internal/hist"
@@ -68,6 +69,8 @@ type shard struct {
 	seq uint64
 
 	mEvents *obs.Counter // per-shard event counter (server.shard.<idx>.events)
+	mBusy   *obs.Counter // server.shard.<idx>.busy_ns: time spent executing closures
+	mDepth  *obs.Gauge   // server.shard.<idx>.queue_depth: inbox depth, sampled per dequeue
 }
 
 // migrated is the state bundle of one cross-shard group migration.
@@ -217,14 +220,24 @@ func (s *Server) runOnShard(sh *shard, fn func()) {
 // migration into this shard is in flight, requests are parked rather than
 // run, and replayed in order once the migrated state is installed — the loop
 // itself never blocks, which keeps the cross-loop wait graph acyclic.
+//
+// Each dequeue samples the inbox depth and brackets the work with busy-time
+// accounting (server.shard.<i>.busy_ns / .queue_depth); the Gauge's
+// high-water mark doubles as the worst backlog ever seen. Both are no-ops
+// under obs.Disabled, whose Start never reads the clock.
 func (s *Server) shardLoop(sh *shard) {
 	defer s.wg.Done()
 	for {
 		select {
 		case fn := <-sh.reqs:
+			sh.mDepth.Set(int64(len(sh.reqs)))
+			t0 := sh.mBusy.Start()
 			sh.run(fn)
+			sh.mBusy.AddSince(t0)
 		case m := <-sh.installCh:
+			t0 := sh.mBusy.Start()
 			sh.install(m)
+			sh.mBusy.AddSince(t0)
 		case <-s.quit:
 			for {
 				select {
@@ -357,7 +370,7 @@ func (s *Server) dispatchEnv(cl *client, env wire.Envelope) bool {
 		sh := s.birthShard(m.EventID)
 		return s.postShard(sh, func() {
 			s.recordFlight(cl, "recv", env)
-			s.ackExec(sh, cl, m.EventID, env.Trace)
+			s.ackExec(sh, cl, m.EventID, env.Trace, time.Time{})
 		})
 	case wire.BatchAck:
 		// Split the coalesced run by birth shard, preserving within-shard
@@ -374,8 +387,9 @@ func (s *Server) dispatchEnv(cl *client, env wire.Envelope) bool {
 		for sh, acks := range perShard {
 			sh, acks := sh, acks
 			if !s.postShard(sh, func() {
+				now := s.ackClock()
 				for _, a := range acks {
-					s.ackExec(sh, cl, a.EventID, a.Trace)
+					s.ackExec(sh, cl, a.EventID, a.Trace, now)
 				}
 			}) {
 				ok = false

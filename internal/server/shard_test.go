@@ -311,6 +311,12 @@ func runShardTrace(t *testing.T, shards int) (map[string][]string, server.Stats)
 		}
 		collect(fmt.Sprintf("origin%d", g), origins[g], originWant)
 	}
+	// The last Exec being delivered does not mean its acks have landed back
+	// at the server yet; wait for quiescence so the caller's PendingEvents
+	// assertion is not racing the tail of the ack stream.
+	waitFor(t, "all events resolved", func() bool {
+		return h.srv.Stats().PendingEvents == 0
+	})
 	return sequences, h.srv.Stats()
 }
 

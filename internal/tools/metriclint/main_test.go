@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanRegistrations(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "srv/srv.go", `package srv
+import "fmt"
+func setup(m sink) {
+	m.Counter("server.events")
+	m.Gauge(fmt.Sprintf("server.shard.%d.queue_depth", 3))
+	m.Histogram("server.event_rtt_ns")
+	m.Family("server.member", Schema{
+		Counters: []string{"acks", "timeouts"},
+		Hist:     "ack_ns",
+		EWMA:     "ack_ewma_ns",
+		Label:    "member",
+	})
+	e.Counter(idx).Inc() // index lookup, not a registration
+}
+`)
+	write(t, dir, "srv/srv_test.go", `package srv
+func f(m sink) { m.Counter("test.only") }
+`)
+	write(t, dir, "internal/obs/obs.go", `package obs
+func g(m sink) { m.Counter("obs.internal") }
+`)
+	got, err := scanRegistrations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"server.events",
+		"server.shard.<i>.queue_depth",
+		"server.event_rtt_ns",
+		"server.member.acks",
+		"server.member.timeouts",
+		"server.member.ack_ns",
+		"server.member.ack_ewma_ns",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d names %v, want %d", len(got), sorted(got), len(want))
+	}
+	for _, n := range want {
+		if _, ok := got[n]; !ok {
+			t.Errorf("missing %q (got %v)", n, sorted(got))
+		}
+	}
+}
+
+func TestScanReadme(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md", `
+| Name | Kind | Meaning |
+|---|---|---|
+| `+"`server.events`"+` | counter | accepted events |
+| `+"`server.member.ack_ns`"+` | family histogram | per-member ack latency |
+
+| Span | Recorded by | Covers |
+|---|---|---|
+| `+"`client.event_send`"+` | origin instance | full round trip |
+`)
+	got, err := scanReadme(filepath.Join(dir, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got["server.events"] || !got["server.member.ack_ns"] {
+		t.Fatalf("got %v", sorted(got))
+	}
+	if got["client.event_send"] {
+		t.Fatal("span table row leaked into the metric set")
+	}
+}
+
+// TestRepoInSync runs the real check against this repository, so the lint
+// failing is reproducible as a plain test failure too.
+func TestRepoInSync(t *testing.T) {
+	root := "../../.."
+	registered, err := scanRegistrations(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented, err := scanReadme(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, site := range registered {
+		if !documented[name] {
+			t.Errorf("%s: metric %q not in README table", site, name)
+		}
+	}
+	for name := range documented {
+		if _, ok := registered[name]; !ok {
+			t.Errorf("README documents %q but nothing registers it", name)
+		}
+	}
+}
