@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet verify bench chaos chaos-sharded load-smoke lint-metrics
+.PHONY: all build test race vet verify bench chaos chaos-sharded chaos-restart load-smoke lint-metrics
 
 all: verify
 
@@ -44,6 +44,14 @@ chaos:
 # second matrix leg.
 chaos-sharded:
 	COSOFT_SHARDS=4 $(MAKE) chaos
+
+# Kill-and-restart soak for the durable event log: a server with an always-sync
+# log is restarted repeatedly under live traffic while the clients ride through
+# on session resume; afterwards the log must hold every acknowledged event.
+# Runs race-checked, plain and with shards + batching forced.
+chaos-restart:
+	$(GO) test -race -run ChaosRestart -count=3 ./internal/server/
+	COSOFT_SHARDS=4 COSOFT_BATCH_LIMIT=8 $(GO) test -race -run ChaosRestart -count=3 ./internal/server/
 
 # Regenerates BENCH_obs.json (the metrics trajectory) along with the paper
 # benchmarks.

@@ -19,6 +19,7 @@ import (
 	"cosoft/internal/benchio"
 	"cosoft/internal/client"
 	"cosoft/internal/couple"
+	"cosoft/internal/eventlog"
 	"cosoft/internal/experiments"
 	"cosoft/internal/netsim"
 	"cosoft/internal/obs"
@@ -369,6 +370,91 @@ func BenchmarkEvent(b *testing.B) {
 			multiGroupBench(b, "BenchmarkEvent/"+mode, nshards)
 		})
 	}
+
+	// The durable trio prices the append-before-ack event log on the coupled
+	// event hot path. off is the in-memory baseline; interval acks once the
+	// record's bytes are written, group-committing fsyncs on a timer — the
+	// recommended deployment; always fsyncs inside every acknowledgement, the
+	// full price of "an acked event survives kill -9". The trajectory rows
+	// carry the server.log.* counters so later PRs can watch bytes-per-event
+	// and fsyncs-per-event alongside the RTT deltas.
+	for _, mode := range []string{"durable-off", "durable-interval", "durable-always"} {
+		b.Run(mode, func(b *testing.B) {
+			durableBench(b, "BenchmarkEvent/"+mode, mode)
+		})
+	}
+}
+
+// durableBench runs one BenchmarkEvent durable variant: the coupled-pair
+// topology over real loopback TCP (fsync latency only matters against real
+// I/O timing), with the server's event log in a fresh directory per
+// invocation so the harness's calibration reruns never replay a prior run.
+func durableBench(b *testing.B, bench, mode string) {
+	reg := obs.NewRegistry()
+	sopts := server.Options{Metrics: reg}
+	if mode != "durable-off" {
+		sync := eventlog.SyncInterval
+		if mode == "durable-always" {
+			sync = eventlog.SyncAlways
+		}
+		elog, err := eventlog.Open(eventlog.Options{Dir: b.TempDir(), Sync: sync, Metrics: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer elog.Close()
+		sopts.EventLog = elog
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(sopts)
+	go srv.Serve(lis)
+	defer srv.Close()
+	defer lis.Close()
+	mkClient := func(user string) *cosoft.Client {
+		conn, err := net.Dial("tcp", lis.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wreg := cosoft.NewRegistry()
+		cosoft.MustBuild(wreg, "/", `textfield field value=""`)
+		c, err := client.New(conn, client.Options{
+			AppType: "bench", User: user, Host: "bench", Registry: wreg,
+			RPCTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	origin := mkClient("origin")
+	defer origin.Close()
+	member := mkClient("member")
+	defer member.Close()
+	if err := origin.Declare("/field"); err != nil {
+		b.Fatal(err)
+	}
+	if err := member.Declare("/field"); err != nil {
+		b.Fatal(err)
+	}
+	if err := origin.Couple("/field", member.Ref("/field")); err != nil {
+		b.Fatal(err)
+	}
+	vals := []attr.Value{attr.String("benchmark payload")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := &widget.Event{Path: "/field", Name: widget.EventChanged, Args: vals}
+		if _, err := experiments.DispatchRetry(origin, ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stats := srv.Stats()
+	b.ReportMetric(stats.EventRTT.P50, "p50-rtt-ns")
+	b.ReportMetric(stats.EventRTT.P99, "p99-rtt-ns")
+	writeBenchTrajectory(b, bench, reg, stats)
 }
 
 // multiGroupBench runs one BenchmarkEvent shards variant: groupCount

@@ -26,6 +26,15 @@
 //	        [-outbox-limit 1024] [-batch-limit 32] [-no-encode-once]
 //	        [-no-member-attr] [-trace-buffer 4096]
 //	        [-flight-depth 64] [-log-level info] [-v]
+//	        [-log-dir /var/lib/cosoft/log] [-log-sync interval]
+//	        [-log-segment-bytes 67108864] [-no-replay-tail]
+//
+// With -log-dir set, every state-mutating hop is appended to a durable
+// segmented event log before it is acknowledged, and a restarted cosoftd
+// replays the log to rebuild its databases — reconnecting clients resume
+// with their logged session tokens as if the restart never happened.
+// cosoftd -log-fsck <dir> scans a log directory offline, reports segment
+// and record counts, and exits nonzero on CRC damage.
 package main
 
 import (
@@ -47,6 +56,7 @@ import (
 	"sync"
 	"syscall"
 
+	"cosoft/internal/eventlog"
 	"cosoft/internal/obs"
 	"cosoft/internal/server"
 )
@@ -66,8 +76,21 @@ func main() {
 	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceBuffer, "causal-trace span ring size (0 = tracing disabled)")
 	flightDepth := flag.Int("flight-depth", obs.DefaultFlightDepth, "per-connection flight-recorder depth (0 = disabled)")
 	logLevel := flag.String("log-level", "", "structured log level: debug, info, warn or error (empty = logging disabled)")
+	logDir := flag.String("log-dir", "", "durable event-log directory; appends before acking and replays on start (empty = durability disabled)")
+	logSync := flag.String("log-sync", "interval", "event-log sync policy: always (fsync before every ack), interval, or none")
+	logSegBytes := flag.Int64("log-segment-bytes", 0, "event-log segment rotation size in bytes (0 = 64 MiB)")
+	logFsck := flag.Bool("log-fsck", false, "scan the -log-dir (or the positional argument) offline, report segment/record counts and CRC damage, and exit — nonzero on corruption")
+	noReplayTail := flag.Bool("no-replay-tail", false, "with -log-dir: do not replay the group event tail to late joiners at couple time")
 	verbose := flag.Bool("v", false, "log registrations and departures")
 	flag.Parse()
+
+	if *logFsck {
+		dir := *logDir
+		if flag.NArg() > 0 {
+			dir = flag.Arg(0)
+		}
+		os.Exit(runFsck(dir))
+	}
 
 	metrics := obs.NewRegistry()
 	opts := server.Options{
@@ -103,6 +126,29 @@ func main() {
 		if *flightDepth > 0 {
 			opts.Flight = obs.NewFlightRecorder(*flightDepth)
 		}
+	}
+
+	var elog *eventlog.Log
+	if *logDir != "" {
+		sync, err := eventlog.ParseSync(*logSync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosoftd: %v\n", err)
+			os.Exit(2)
+		}
+		elog, err = eventlog.Open(eventlog.Options{
+			Dir:          *logDir,
+			Sync:         sync,
+			SegmentBytes: *logSegBytes,
+			Metrics:      metrics,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosoftd: %v\n", err)
+			os.Exit(1)
+		}
+		defer elog.Close()
+		opts.EventLog = elog
+		opts.ReplayTail = !*noReplayTail
+		fmt.Printf("cosoftd: durable event log in %s (sync=%s)\n", *logDir, sync)
 	}
 
 	lis, err := net.Listen("tcp", *listen)
@@ -155,6 +201,33 @@ func main() {
 			rtt.P50, rtt.P95, rtt.P99, rtt.Max,
 			snap.Gauges["server.outbox_depth"].HighWater)
 	}
+}
+
+// runFsck scans a durable event-log directory without opening it for
+// append, reporting what a recovery replay would see. Exit codes: 0 clean
+// (a torn tail is clean — it is the expected crash signature and open would
+// truncate it), 1 corruption before the tail (acknowledged records are
+// unreadable), 2 usage or I/O error.
+func runFsck(dir string) int {
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "cosoftd: -log-fsck needs a log directory (-log-dir or positional)")
+		return 2
+	}
+	rep, err := eventlog.Fsck(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cosoftd: fsck %s: %v\n", dir, err)
+		return 2
+	}
+	fmt.Printf("cosoftd: %s: %d segment(s), %d record(s), %d byte(s) valid\n",
+		dir, rep.Segments, rep.Records, rep.Bytes)
+	if rep.Corrupt {
+		fmt.Fprintf(os.Stderr, "cosoftd: CORRUPT: %s\n", rep.Detail)
+		return 1
+	}
+	if rep.TornTail {
+		fmt.Printf("cosoftd: torn tail (crash signature, recoverable): %s\n", rep.Detail)
+	}
+	return 0
 }
 
 // parseLogLevel maps the -log-level flag to a slog.Level.

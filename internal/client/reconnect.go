@@ -18,17 +18,27 @@ type ReconnectOptions struct {
 	// gives up for good (0 = 8). A refused resume (unknown session token)
 	// is permanent and stops immediately.
 	MaxAttempts int
-	// BaseDelay is the first backoff delay (0 = 50ms). Delays double per
-	// failed attempt up to MaxDelay (0 = 2s), each stretched by a uniform
-	// jitter in [0, delay/2).
+	// BaseDelay scales the backoff (0 = 50ms). Retry k sleeps a uniform
+	// random span in [0, min(MaxDelay, BaseDelay<<(k-1))] — full jitter, so
+	// a mass reconnect after a server restart spreads its retries across
+	// the whole window instead of thundering in phase. MaxDelay caps the
+	// window (0 = 2s).
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
-	// Seed drives the jitter PRNG so tests replay deterministically.
+	// Seed drives the jitter PRNG so tests replay deterministically. Zero
+	// seeds from entropy: clients must NOT share a jitter stream, or a
+	// mass restart re-synchronizes every retry wave.
 	Seed uint64
 	// OnResync, if set, is called after each successful reconnect once
-	// re-declaration, re-coupling and state pull have finished, with the
-	// first error encountered (nil on a clean resync).
+	// re-declaration, re-coupling and the post-resume state pull have
+	// finished, with the first error encountered (nil on a clean resync).
 	OnResync func(err error)
+	// SkipStatePull suppresses the per-object CopyFrom from a surviving
+	// peer after resume. Set it when the server replays the group's durable
+	// event-log tail to late joiners (server Options.ReplayTail) — the
+	// catch-up then arrives as ordinary Execs and the blocking pull from a
+	// live peer is redundant.
+	SkipStatePull bool
 }
 
 // permanentError marks reconnect failures that retrying cannot fix.
@@ -57,23 +67,46 @@ func (r *ReconnectOptions) maxDelay() time.Duration {
 	return 2 * time.Second
 }
 
-// redial dials and resumes the session with exponential backoff. It runs on
-// the supervise goroutine.
+// backoffDelay returns the sleep before retry attempt (1-based): a uniform
+// draw from [0, min(maxDelay, baseDelay·2^(attempt-1))]. Full jitter — the
+// entire window is random, not a fixed delay plus a sliver of jitter — so
+// concurrent clients that started retrying at the same instant (a server
+// restart disconnects everyone at once) decorrelate immediately instead of
+// arriving in synchronized waves.
+func (r *ReconnectOptions) backoffDelay(rng *rand.Rand, attempt int) time.Duration {
+	ceil := r.maxDelay()
+	// Guard the shift: past ~62 doublings the window is the cap regardless.
+	if shift := attempt - 1; shift < 62 {
+		if d := r.baseDelay() << shift; d < ceil {
+			ceil = d
+		}
+	}
+	return time.Duration(rng.Int64N(int64(ceil) + 1))
+}
+
+// jitterSeeds returns the PRNG seed pair for the backoff jitter. The
+// configured seed keeps tests deterministic; by default every client draws
+// fresh entropy, because reconnecting clients sharing one PRNG stream —
+// which is what a zero-value PCG seed amounts to — retry in lockstep.
+func (r *ReconnectOptions) jitterSeeds() (uint64, uint64) {
+	if r.Seed != 0 {
+		return r.Seed, r.Seed ^ 0x9e3779b97f4a7c15
+	}
+	return rand.Uint64(), rand.Uint64()
+}
+
+// redial dials and resumes the session with full-jitter exponential
+// backoff. It runs on the supervise goroutine.
 func (c *Client) redial() (*wire.Conn, error) {
 	r := c.opts.Reconnect
-	rng := rand.New(rand.NewPCG(r.Seed, r.Seed^0x9e3779b97f4a7c15))
-	delay := r.baseDelay()
+	rng := rand.New(rand.NewPCG(r.jitterSeeds()))
 	var lastErr error
 	for attempt := 0; attempt < r.maxAttempts(); attempt++ {
 		if attempt > 0 {
-			d := delay + time.Duration(rng.Int64N(int64(delay/2)+1))
 			select {
-			case <-time.After(d):
+			case <-time.After(r.backoffDelay(rng, attempt)):
 			case <-c.done:
 				return nil, ErrClosed
-			}
-			if delay *= 2; delay > r.maxDelay() {
-				delay = r.maxDelay()
 			}
 		}
 		raw, err := r.Dial()
@@ -203,15 +236,20 @@ func (c *Client) resync() {
 			fail(fmt.Errorf("re-couple %s -> %s: %w", l.From, l.To, err))
 		}
 	}
-	for _, p := range paths {
-		for _, peer := range c.links.CO(c.Ref(p)) {
-			if peer.Instance == c.id {
-				continue
+	// With SkipStatePull the re-coupling above already triggered the
+	// server's log-tail replay: recent group events arrive as ordinary
+	// Execs, so no live peer needs to serve a blocking state capture.
+	if !c.opts.Reconnect.SkipStatePull {
+		for _, p := range paths {
+			for _, peer := range c.links.CO(c.Ref(p)) {
+				if peer.Instance == c.id {
+					continue
+				}
+				if err := c.callOK(wire.CopyFrom{From: peer, ToPath: p}); err != nil {
+					fail(fmt.Errorf("state pull for %s: %w", p, err))
+				}
+				break
 			}
-			if err := c.callOK(wire.CopyFrom{From: peer, ToPath: p}); err != nil {
-				fail(fmt.Errorf("state pull for %s: %w", p, err))
-			}
-			break
 		}
 	}
 

@@ -1,0 +1,472 @@
+package eventlog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/couple"
+	"cosoft/internal/obs"
+	"cosoft/internal/wire"
+)
+
+func rec(kind Kind, origin, group string, msg wire.Message) Record {
+	return Record{Kind: kind, Origin: origin, Group: group, Env: wire.Envelope{Msg: msg}}
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		rec(KindRegister, "editor-1", "", wire.Register{AppType: "editor", Host: "h", User: "u"}),
+		rec(KindDeclare, "editor-1", "", wire.Declare{Path: "/field", Class: "text"}),
+		rec(KindEvent, "editor-1", "editor-1|/field", wire.Exec{
+			EventID:    1,
+			TargetPath: "/field",
+			Name:       "changed",
+			Args:       []attr.Value{attr.String("x")},
+			Origin:     couple.ObjectRef{Instance: "editor-1", Path: "/field"},
+		}),
+		rec(KindToken, "editor-1", "", wire.SessionToken{Token: "deadbeef"}),
+	}
+}
+
+func replayAll(t *testing.T, dir string) []Record {
+	t.Helper()
+	var got []Record
+	if err := ReplayDir(dir, func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func checkRecords(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].Origin != want[i].Origin || got[i].Group != want[i].Group {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+		if got[i].Env.Msg.MsgType() != want[i].Env.Msg.MsgType() {
+			t.Fatalf("record %d: msg type %v want %v", i, got[i].Env.Msg.MsgType(), want[i].Env.Msg.MsgType())
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, replayAll(t, dir), want)
+}
+
+// Reopening a cleanly closed log appends after the existing records.
+func TestReopenAppends(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleRecords()
+	l, err := Open(Options{Dir: dir, Sync: SyncInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range want[:2] {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	l, err = Open(Options{Dir: dir, Sync: SyncInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range want[2:] {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	checkRecords(t, replayAll(t, dir), want)
+}
+
+// Small SegmentBytes forces rotation; replay still sees one ordered stream
+// and segment names are the cumulative base offsets.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncNone, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 20; i++ {
+		r := rec(KindDeclare, "editor-1", "", wire.Declare{Path: "/field", Class: "text"})
+		want = append(want, r)
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	bases, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bases) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(bases))
+	}
+	var off int64
+	for _, base := range bases {
+		if base != off {
+			t.Fatalf("segment base %d, want cumulative offset %d", base, off)
+		}
+		st, err := os.Stat(segPath(dir, base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += st.Size()
+	}
+	checkRecords(t, replayAll(t, dir), want)
+}
+
+// A torn tail — trailing garbage after the last good record — is truncated
+// on open, counted in server.log.truncated_tail, and appends continue from
+// the good prefix.
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleRecords()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	path := segPath(dir, 0)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a record: header plus a few payload bytes of a final append that
+	// never completed.
+	torn := append(append([]byte{}, good...), encodeRecord(want[0])[:recHeader+3]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	l, err = Open(Options{Dir: dir, Sync: SyncAlways, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("server.log.truncated_tail").Value(); got != 1 {
+		t.Fatalf("truncated_tail = %d, want 1", got)
+	}
+	extra := rec(KindRetract, "editor-1", "", wire.Retract{Path: "/field"})
+	if err := l.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	checkRecords(t, replayAll(t, dir), append(want, extra))
+}
+
+// A record whose CRC does not match is the end of replay — bytes after it
+// are never surfaced.
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleRecords()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	path := segPath(dir, 0)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the second record.
+	firstLen := int64(len(encodeRecord(want[0])))
+	buf[firstLen+recHeader] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir)
+	checkRecords(t, got, want[:1])
+}
+
+func TestSyncPolicyFsyncCounts(t *testing.T) {
+	// always: one fsync per (group-committed) append batch. Sequential
+	// appends → one fsync each.
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("server.log.fsyncs").Value(); got != 4 {
+		t.Fatalf("always: fsyncs = %d, want 4", got)
+	}
+	if got := reg.Counter("server.log.appends").Value(); got != 4 {
+		t.Fatalf("appends = %d, want 4", got)
+	}
+	l.Close()
+
+	// interval: appends return without fsync; the ticker (or close) flushes.
+	reg = obs.NewRegistry()
+	dir = t.TempDir()
+	l, err = Open(Options{Dir: dir, Sync: SyncInterval, SyncEvery: time.Hour, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("server.log.fsyncs").Value(); got != 0 {
+		t.Fatalf("interval: fsyncs = %d before close, want 0", got)
+	}
+	l.Close()
+	if got := reg.Counter("server.log.fsyncs").Value(); got != 1 {
+		t.Fatalf("interval: fsyncs = %d after close, want 1", got)
+	}
+
+	// none: never.
+	reg = obs.NewRegistry()
+	dir = t.TempDir()
+	l, err = Open(Options{Dir: dir, Sync: SyncNone, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	if got := reg.Counter("server.log.fsyncs").Value(); got != 0 {
+		t.Fatalf("none: fsyncs = %d, want 0", got)
+	}
+}
+
+// Crash points at every write/sync boundary: the failed append errors with
+// ErrCrashed, later appends fail too, and reopening the dir recovers exactly
+// the records whose durability boundary completed.
+func TestCrashPoints(t *testing.T) {
+	want := sampleRecords()
+	for op := 1; ; op++ {
+		for _, partial := range []int{0, 3, recHeader + 1} {
+			dir := t.TempDir()
+			l, err := Open(Options{Dir: dir, Sync: SyncAlways})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l.CrashPoint(op, partial)
+			appended := 0
+			for _, r := range want {
+				if err := l.Append(r); err != nil {
+					break
+				}
+				appended++
+			}
+			fired := l.CrashFired()
+			l.Close()
+			if !fired {
+				if appended != len(want) {
+					t.Fatalf("op %d: crash never fired but only %d appends succeeded", op, appended)
+				}
+				if op <= 1 {
+					t.Fatal("crash point 1 did not fire")
+				}
+				return // swept past the last boundary
+			}
+			got := replayAll(t, dir)
+			// Sequential appends under SyncAlways: 2 boundaries per record.
+			// A crash at record k's write boundary leaves at most a torn
+			// tail (replay skips it); a crash at its fsync boundary leaves
+			// the record fully written — durable in this test model even
+			// though the append errored. Either way the durable set is a
+			// clean prefix no shorter than the acked count.
+			if len(got) < appended || len(got) > appended+1 {
+				t.Fatalf("op %d partial %d: %d durable records for %d acked appends", op, partial, len(got), appended)
+			}
+			checkRecords(t, got, want[:len(got)])
+			// The dir must also reopen cleanly (truncating any torn tail).
+			l2, err := Open(Options{Dir: dir, Sync: SyncAlways})
+			if err != nil {
+				t.Fatalf("op %d partial %d: reopen after crash: %v", op, partial, err)
+			}
+			l2.Close()
+		}
+	}
+}
+
+func TestFsck(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleRecords()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	rep, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != len(want) || rep.Corrupt || rep.TornTail {
+		t.Fatalf("clean fsck: %+v", rep)
+	}
+	if rep.Segments < 2 {
+		t.Fatalf("expected rotated segments, got %d", rep.Segments)
+	}
+
+	// Torn tail in the last segment: reported as TornTail, not Corrupt.
+	bases, _ := segments(dir)
+	last := segPath(dir, bases[len(bases)-1])
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+	rep, err = Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TornTail || rep.Corrupt || rep.Records != len(want) {
+		t.Fatalf("torn fsck: %+v", rep)
+	}
+
+	// Damage in an earlier segment: Corrupt.
+	first := segPath(dir, bases[0])
+	buf, _ := os.ReadFile(first)
+	buf[recHeader] ^= 0xff
+	os.WriteFile(first, buf, 0o644)
+	rep, err = Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Corrupt {
+		t.Fatalf("corrupt fsck: %+v", rep)
+	}
+}
+
+// TestFsckInteriorCorruption distinguishes a flipped byte mid-segment from a
+// crash tear: intact records resync behind the damage, so fsck must report
+// Corrupt (acked records unreadable), not a clean TornTail.
+func TestFsckInteriorCorruption(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleRecords()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	bases, _ := segments(dir)
+	path := segPath(dir, bases[0])
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the second record: records one and three stay
+	// intact, so a resync exists behind the break.
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Corrupt || rep.TornTail {
+		t.Fatalf("interior corruption fsck: %+v", rep)
+	}
+	if !strings.Contains(rep.Detail, "interior corruption") {
+		t.Fatalf("detail: %q", rep.Detail)
+	}
+}
+
+func TestParseSync(t *testing.T) {
+	for s, want := range map[string]Sync{"always": SyncAlways, "interval": SyncInterval, "none": SyncNone} {
+		got, err := ParseSync(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSync(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Fatalf("String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParseSync("sometimes"); err == nil {
+		t.Fatal("ParseSync accepted garbage")
+	}
+}
+
+// Concurrent appenders must all land durably and replay in one total order.
+func TestConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 25
+	errc := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < per; i++ {
+				r := rec(KindDeclare, "editor-1", "", wire.Declare{Path: filepath.Join("/w", string(rune('a'+w))), Class: "text"})
+				if err := l.Append(r); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	if got := replayAll(t, dir); len(got) != writers*per {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*per)
+	}
+}

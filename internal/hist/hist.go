@@ -5,10 +5,12 @@ package hist
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
 	"cosoft/internal/couple"
+	"cosoft/internal/obs"
 	"cosoft/internal/widget"
 )
 
@@ -39,9 +41,10 @@ type entry struct {
 // long session cannot exhaust server memory. The zero value is not usable;
 // call NewDB.
 type DB struct {
-	mu       sync.Mutex
-	maxDepth int
-	objects  map[couple.ObjectRef]*entry
+	mu        sync.Mutex
+	maxDepth  int
+	objects   map[couple.ObjectRef]*entry
+	evictions *obs.Counter
 }
 
 // DefaultDepth is the per-object history depth used when NewDB receives a
@@ -70,8 +73,48 @@ func (d *DB) Record(s Snapshot) {
 	if len(e.undo) > d.maxDepth {
 		copy(e.undo, e.undo[1:])
 		e.undo = e.undo[:d.maxDepth]
+		d.evictions.Inc()
 	}
 	e.redo = nil
+}
+
+// Instrument counts depth-bound evictions — the oldest undo snapshot
+// silently dropped when an object's history exceeds the depth bound — in c.
+func (d *DB) Instrument(c *obs.Counter) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.evictions = c
+}
+
+// Refs returns every object with recorded history, sorted, and Stacks dumps
+// one object's undo/redo stacks bottom-first — together a deterministic
+// dump of the database, used by recovery tests to compare a replayed server
+// against a shadow one.
+func (d *DB) Refs() []couple.ObjectRef {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	refs := make([]couple.ObjectRef, 0, len(d.objects))
+	for ref := range d.objects {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Instance != refs[j].Instance {
+			return refs[i].Instance < refs[j].Instance
+		}
+		return refs[i].Path < refs[j].Path
+	})
+	return refs
+}
+
+// Stacks returns copies of ref's undo and redo stacks, oldest first.
+func (d *DB) Stacks(ref couple.ObjectRef) (undo, redo []Snapshot) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.objects[ref]
+	if e == nil {
+		return nil, nil
+	}
+	return append([]Snapshot(nil), e.undo...), append([]Snapshot(nil), e.redo...)
 }
 
 // Undo pops the most recent overwritten state of ref. The caller supplies

@@ -7,6 +7,8 @@ package registry
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -61,6 +63,25 @@ func (s *Store) NewID(appType string) couple.InstanceID {
 	defer s.mu.Unlock()
 	s.nextSeq++
 	return couple.InstanceID(fmt.Sprintf("%s-%d", appType, s.nextSeq))
+}
+
+// RestoreSeq advances the ID allocator past an identifier recovered from a
+// durable log, so IDs minted after a restart never collide with pre-crash
+// ones. IDs not shaped like NewID's output ("type-N") are ignored.
+func (s *Store) RestoreSeq(id couple.InstanceID) {
+	i := strings.LastIndexByte(string(id), '-')
+	if i < 0 {
+		return
+	}
+	n, err := strconv.ParseUint(string(id)[i+1:], 10, 64)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.nextSeq {
+		s.nextSeq = n
+	}
 }
 
 // Register inserts a record. The record's ID must be set and unused.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cosoft/internal/couple"
+	"cosoft/internal/eventlog"
 	"cosoft/internal/lock"
 	"cosoft/internal/obs"
 	"cosoft/internal/wire"
@@ -97,6 +98,24 @@ func (s *Server) handleEvent(sh *shard, cl *client, seq uint64, m wire.Event, tc
 		})
 		arrival.EndNote("lock denied")
 		return
+	}
+
+	// The event is committed: the group lock is held and the broadcast is
+	// about to fan out. Make it durable before any member — including the
+	// origin's EventResult — hears about it, so an acked event is always in
+	// the replayable stream. The append runs on this shard's loop but the
+	// file I/O happens on the log's writer goroutine; concurrent shards
+	// group-commit into one write+fsync.
+	exec := wire.Exec{
+		EventID:    eventID,
+		TargetPath: m.Path,
+		Name:       m.Name,
+		Args:       m.Args,
+		Origin:     source,
+	}
+	s.logAppend(eventlog.KindEvent, cl.id, stateID(source), exec)
+	if s.opts.ReplayTail {
+		sh.pushTail(source, exec)
 	}
 
 	pe := &pendingEvent{

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cosoft/internal/couple"
+	"cosoft/internal/eventlog"
 	"cosoft/internal/lock"
 	"cosoft/internal/obs"
 	"cosoft/internal/perm"
@@ -17,7 +18,11 @@ import (
 func (s *Server) handle(cl *client, env wire.Envelope) {
 	switch m := env.Msg.(type) {
 	case wire.Declare:
-		s.reply(cl, env.Seq, s.reg.DeclareObject(cl.id, m.Path, m.Class))
+		err := s.reg.DeclareObject(cl.id, m.Path, m.Class)
+		if err == nil {
+			s.logAppend(eventlog.KindDeclare, cl.id, "", m)
+		}
+		s.reply(cl, env.Seq, err)
 	case wire.Retract:
 		s.handleRetract(cl, env.Seq, m)
 	case wire.Deregister:
@@ -26,6 +31,7 @@ func (s *Server) handle(cl *client, env wire.Envelope) {
 		if tok, ok := s.sessionTok[cl.id]; ok {
 			delete(s.sessions, tok)
 			delete(s.sessionTok, cl.id)
+			s.logAppend(eventlog.KindTokenDrop, cl.id, "", m)
 		}
 		s.dropClient(cl, "deregistered")
 		s.reply(cl, env.Seq, nil)
@@ -62,9 +68,11 @@ func (s *Server) handle(cl *client, env wire.Envelope) {
 		s.handleListInstances(cl, env.Seq)
 	case wire.GrantPerm:
 		s.perms.Grant(perm.Rule{User: m.User, State: m.State, Right: perm.Right(m.Right)})
+		s.logAppend(eventlog.KindPerm, cl.id, "", m)
 		s.reply(cl, env.Seq, nil)
 	case wire.RevokePerm:
 		s.perms.Revoke(perm.Rule{User: m.User, State: m.State, Right: perm.Right(m.Right)})
+		s.logAppend(eventlog.KindPerm, cl.id, "", m)
 		s.reply(cl, env.Seq, nil)
 	case wire.Ping:
 		// Client-initiated probe: answer so it can measure liveness too.
@@ -126,8 +134,12 @@ func (s *Server) handleRetract(cl *client, seq uint64, m wire.Retract) {
 		s.notifyLink(members, l, false)
 	}
 	s.reg.RetractObject(cl.id, m.Path)
-	s.runOnShard(sh, func() { sh.history.Forget(ref) })
+	s.runOnShard(sh, func() {
+		sh.history.Forget(ref)
+		delete(sh.tails, ref)
+	})
 	s.router.dropRef(ref)
+	s.logAppend(eventlog.KindRetract, cl.id, "", m)
 	s.reply(cl, seq, nil)
 }
 
@@ -162,6 +174,14 @@ func (s *Server) coupleRefs(cl *client, from, to couple.ObjectRef) error {
 		return fmt.Errorf("server: classes %q and %q are not compatible", classFrom, classTo)
 	}
 	l := couple.Link{From: from, To: to, Creator: cl.id}
+	// Snapshot the two pre-merge groups: after AddLink they are one group,
+	// and the late-join tail replay needs to know which members are new to
+	// which side's event stream.
+	var gFrom, gTo []couple.ObjectRef
+	if s.opts.ReplayTail {
+		gFrom = s.graph.Group(from)
+		gTo = s.graph.Group(to)
+	}
 	if s.sharded {
 		// Co-locate the two endpoint groups before the link merges them:
 		// every member of one coupling group serializes on one shard loop.
@@ -170,6 +190,8 @@ func (s *Server) coupleRefs(cl *client, from, to couple.ObjectRef) error {
 	if err := s.graph.AddLink(l); err != nil {
 		return err
 	}
+	s.logAppend(eventlog.KindCouple, cl.id, stateID(from), wire.Couple{From: from, To: to})
+	s.replayTails(gFrom, gTo)
 	// Replicate the complete transitive closure: every instance owning a
 	// member of the merged group receives every link of the group, so that
 	// "objects already connected to o2 are added to the list of targets, and
@@ -213,6 +235,7 @@ func (s *Server) handleDecouple(cl *client, seq uint64, m wire.Decouple) {
 		return
 	}
 	s.notifyLink(members, l, false)
+	s.logAppend(eventlog.KindDecouple, cl.id, stateID(l.From), wire.Decouple{From: l.From, To: l.To})
 	s.reply(cl, seq, nil)
 }
 
@@ -303,6 +326,9 @@ func (s *Server) handleSessionToken(cl *client, seq uint64) {
 	}
 	s.sessionTok[cl.id] = tok
 	s.sessions[tok] = sessionRec{id: rec.ID, appType: rec.AppType, host: rec.Host, user: rec.User}
+	// The token is durable before the client holds it: a token the client
+	// could present after a server restart is always one replay can honor.
+	s.logAppend(eventlog.KindToken, cl.id, "", wire.SessionToken{Token: tok})
 	cl.out.send(wire.Envelope{RefSeq: seq, Msg: wire.SessionToken{Token: tok}})
 }
 
@@ -315,6 +341,14 @@ func (s *Server) dropClient(cl *client, reason string) {
 	// deferred drop must not tear that one down.
 	if cur, ok := s.clientOf(cl.id); !ok || cur != cl {
 		return // already dropped or superseded
+	}
+	// Durable before any database mutation below: replay prunes the
+	// instance the same way. Session tokens deliberately survive (resume
+	// works across a disconnect); only Deregister revokes them. Drops
+	// provoked by Close itself are not departures — nothing is logged, so
+	// a restart finds every instance still registered and resumable.
+	if !s.closing {
+		s.logAppend(eventlog.KindDisconnect, cl.id, "", wire.Err{Text: reason})
 	}
 	s.logf("server: %s leaving (%s)", cl.id, reason)
 	s.slog.Info("instance leaving", "inst", string(cl.id), "reason", reason)
@@ -362,6 +396,11 @@ func (s *Server) dropClient(cl *client, reason string) {
 			}
 			sh.locks.ReleaseInstance(cl.id)
 			sh.history.ForgetInstance(cl.id)
+			for ref := range sh.tails {
+				if ref.Instance == cl.id {
+					delete(sh.tails, ref)
+				}
+			}
 		})
 	}
 	// Resolve pending state fetches involving the instance.

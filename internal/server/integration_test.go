@@ -13,6 +13,7 @@ import (
 	"cosoft/internal/client"
 	"cosoft/internal/compat"
 	"cosoft/internal/couple"
+	"cosoft/internal/eventlog"
 	"cosoft/internal/netsim"
 	"cosoft/internal/perm"
 	"cosoft/internal/server"
@@ -38,6 +39,12 @@ var envShards = func() int {
 	return n
 }()
 
+// envLogDir lets CI soak the whole suite with durability on: when
+// COSOFT_LOG_DIR=<dir> is set, every harness server appends to its own
+// event log under that directory, so every integration and chaos scenario
+// also exercises the append-before-ack path.
+var envLogDir = os.Getenv("COSOFT_LOG_DIR")
+
 // harness runs one server and dials clients over in-process links.
 type harness struct {
 	t   *testing.T
@@ -52,6 +59,23 @@ func newHarness(t *testing.T, opts server.Options) *harness {
 	}
 	if opts.Shards == 0 {
 		opts.Shards = envShards
+	}
+	if envLogDir != "" && opts.EventLog == nil {
+		dir, err := os.MkdirTemp(envLogDir, "cosoft-log-*")
+		if err != nil {
+			t.Fatalf("log dir under COSOFT_LOG_DIR: %v", err)
+		}
+		elog, err := eventlog.Open(eventlog.Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("open event log: %v", err)
+		}
+		// Registered before the server cleanup below, so (LIFO) the server
+		// closes — and finishes its in-flight appends — before the log does.
+		t.Cleanup(func() {
+			elog.Close()
+			os.RemoveAll(dir)
+		})
+		opts.EventLog = elog
 	}
 	h := &harness{t: t, srv: server.New(opts)}
 	t.Cleanup(func() {

@@ -26,6 +26,7 @@ import (
 
 	"cosoft/internal/compat"
 	"cosoft/internal/couple"
+	"cosoft/internal/eventlog"
 	"cosoft/internal/hist"
 	"cosoft/internal/lock"
 	"cosoft/internal/obs"
@@ -92,6 +93,20 @@ type Options struct {
 	// are skipped and /debug/groups reports topology without member stats —
 	// the ablation/benchmark switch for the straggler-attribution path.
 	DisableMemberAttribution bool
+	// EventLog is the durable per-group event log. When set, every
+	// state-mutating hop — registration, declaration, coupling, event
+	// broadcast commit, history snapshot, undo/redo, permission change,
+	// session-token mint — appends a record before its acknowledgement is
+	// enqueued, and New replays the existing log to rebuild the registry,
+	// couple graph, histories and event-ID sequences before serving. The
+	// caller owns the log's lifecycle: open it before New, close it after
+	// Close.
+	EventLog *eventlog.Log
+	// ReplayTail keeps a bounded per-group tail of committed events (the
+	// in-memory mirror of the log tail) and replays it to late joiners at
+	// couple time through the ordinary Exec dispatch path, instead of the
+	// joiner pulling CopyFrom state from a live peer.
+	ReplayTail bool
 	// Metrics receives the server's counters, gauges and latency
 	// histograms. Nil means a private enabled registry (so Stats keeps
 	// working); pass obs.Disabled to remove all measurement cost.
@@ -130,6 +145,11 @@ type Server struct {
 	flight *obs.FlightRecorder
 	slog   *slog.Logger
 
+	// elog is the durable event log (nil when durability is off). Appends
+	// block the calling loop until the record reaches the configured
+	// durability, so an acked transition is always replayable.
+	elog *eventlog.Log
+
 	reqs chan func()
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -148,6 +168,12 @@ type Server struct {
 	sessionTok  map[couple.InstanceID]string
 	nextFetchID uint64
 	nextPing    uint64
+	// closing is set (on the global loop) when Close begins tearing down
+	// connections: the drops it provokes are a server shutdown, not client
+	// departures, and must not be logged as KindDisconnect — a restarted
+	// server replays the log and every instance present at shutdown must
+	// still be there, resumable, with its tails and declarations intact.
+	closing bool
 
 	// Metric handles resolved from Options.Metrics at construction (nil
 	// handles under obs.Disabled; every method is a nil-safe no-op).
@@ -175,6 +201,7 @@ type Server struct {
 	mEventTOWait   *obs.Histogram // server.event_timeout_wait_ns: wait span of deadline-resolved events
 	mGlobalBusy    *obs.Counter   // server.global.busy_ns: time the global loop spent executing closures
 	mGlobalDepth   *obs.Gauge     // server.global.queue_depth: global request-channel depth, sampled per dequeue
+	mHistEvict     *obs.Counter   // server.hist_evictions: oldest undo snapshots dropped by the depth bound
 
 	// mMember attributes event health to individual members: per-instance
 	// ack latency (histogram + EWMA), ack/last-acker/timeout counters. Nil
@@ -355,6 +382,7 @@ func New(opts Options) *Server {
 		mEventTOWait:   metrics.Histogram("server.event_timeout_wait_ns"),
 		mGlobalBusy:    metrics.Counter("server.global.busy_ns"),
 		mGlobalDepth:   metrics.Gauge("server.global.queue_depth"),
+		mHistEvict:     metrics.Counter("server.hist_evictions"),
 
 		started: time.Now(),
 	}
@@ -376,11 +404,13 @@ func New(opts Options) *Server {
 			locks:   lock.NewTable(),
 			history: hist.NewDB(opts.HistoryDepth),
 			pending: make(map[uint64]*pendingEvent),
+			tails:   make(map[couple.ObjectRef][]tailEvent),
 			mEvents: metrics.Counter(fmt.Sprintf("server.shard.%d.events", i)),
 			mBusy:   metrics.Counter(fmt.Sprintf("server.shard.%d.busy_ns", i)),
 			mDepth:  metrics.Gauge(fmt.Sprintf("server.shard.%d.queue_depth", i)),
 		}
 		sh.locks.Instrument(s.mLockAttempts, lockFails, s.mLockUndone)
+		sh.history.Instrument(s.mHistEvict)
 		sh.locks.TraceWith(opts.Tracer)
 		if s.sharded {
 			sh.reqs = make(chan func(), 1024)
@@ -396,6 +426,13 @@ func New(opts Options) *Server {
 		s.router = &router{n: nshards, obj: make(map[couple.ObjectRef]int), ev: make(map[uint64]int)}
 	}
 	s.mShards.Set(int64(nshards))
+	if opts.EventLog != nil {
+		// Replay the durable log before any loop goroutine starts: every
+		// database mutation below runs single-threaded against the freshly
+		// built shards, so recovery needs no posting or locking discipline.
+		s.elog = opts.EventLog
+		s.replayLog()
+	}
 	s.wg.Add(1)
 	go s.loop()
 	if s.sharded {
@@ -494,6 +531,7 @@ func (s *Server) Close() {
 		// Ask the loop to close all client connections, then stop it.
 		done := make(chan struct{})
 		if s.post(func() {
+			s.closing = true
 			s.cmu.RLock()
 			for _, c := range s.clients {
 				c.out.close()
@@ -672,6 +710,7 @@ func (s *Server) admitRegister(cl *client, env wire.Envelope, reg wire.Register)
 			registered <- false
 			return
 		}
+		s.logAppend(eventlog.KindRegister, cl.id, "", reg)
 		s.admit(cl, env)
 		registered <- true
 	}) {
@@ -709,11 +748,20 @@ func (s *Server) admitResume(cl *client, env wire.Envelope, m wire.Resume) strin
 			s.dropClient(old, "superseded by resume")
 			old.conn.Close()
 		}
-		rec := registry.Record{ID: sess.id, AppType: sess.appType, Host: sess.host, User: sess.user}
-		if err := s.reg.Register(rec); err != nil {
-			result <- "server: resume failed: " + err.Error()
-			return
+		// The registry may still hold the instance's record: after a server
+		// crash and log replay, the pre-crash incarnation was never seen
+		// disconnecting, so its record — declared objects and couple links
+		// included — survives as the session's ghost. Resume adopts it
+		// rather than re-registering, which is exactly what makes a kill -9
+		// restart invisible to the reconnecting client.
+		if _, err := s.reg.Lookup(sess.id); err != nil {
+			rec := registry.Record{ID: sess.id, AppType: sess.appType, Host: sess.host, User: sess.user}
+			if err := s.reg.Register(rec); err != nil {
+				result <- "server: resume failed: " + err.Error()
+				return
+			}
 		}
+		s.logAppend(eventlog.KindResume, sess.id, "", m)
 		cl.id = sess.id
 		cl.user = sess.user
 		s.mResumes.Inc()

@@ -63,6 +63,11 @@ type shard struct {
 	locks   *lock.Table
 	history *hist.DB
 	pending map[uint64]*pendingEvent
+	// tails keeps, per source object, the most recent committed events of
+	// its coupling group — the in-memory mirror of the durable log's tail,
+	// rebuilt by replay on restart. Late joiners receive the merged tail at
+	// couple time (Options.ReplayTail). Bounded by maxTailEvents per ref.
+	tails map[couple.ObjectRef][]tailEvent
 	// seq counts events born on this shard; the wire-visible event ID is
 	// (seq-1)*nshards + idx + 1, so IDs are unique across shards and reduce
 	// to the plain counter 1,2,3,… with one shard.
@@ -73,11 +78,32 @@ type shard struct {
 	mDepth  *obs.Gauge   // server.shard.<idx>.queue_depth: inbox depth, sampled per dequeue
 }
 
+// tailEvent is one committed event retained for late-join replay: the full
+// Exec as broadcast, keyed in shard.tails by its source object.
+type tailEvent struct {
+	exec wire.Exec
+}
+
+// maxTailEvents bounds the per-source late-join tail.
+const maxTailEvents = 32
+
+// pushTail retains one committed event in the source object's tail. Runs on
+// the owning shard's loop.
+func (sh *shard) pushTail(source couple.ObjectRef, exec wire.Exec) {
+	t := append(sh.tails[source], tailEvent{exec: exec})
+	if len(t) > maxTailEvents {
+		copy(t, t[1:])
+		t = t[:maxTailEvents]
+	}
+	sh.tails[source] = t
+}
+
 // migrated is the state bundle of one cross-shard group migration.
 type migrated struct {
 	locks   map[couple.ObjectRef]lock.Owner
 	history hist.Extracted
 	events  map[uint64]*pendingEvent
+	tails   map[couple.ObjectRef][]tailEvent
 	done    chan struct{} // closed by the receiver once installed
 }
 
@@ -269,6 +295,9 @@ func (sh *shard) install(m migrated) {
 	for id, pe := range m.events {
 		sh.pending[id] = pe
 	}
+	for ref, t := range m.tails {
+		sh.tails[ref] = t
+	}
 	sh.holding = false
 	close(m.done)
 	held := sh.held
@@ -343,6 +372,13 @@ func (s *Server) extractMigrated(from, to *shard, refs map[couple.ObjectRef]bool
 	}
 	m.locks = from.locks.Extract(refs, owners)
 	m.history = from.history.Extract(refs)
+	m.tails = make(map[couple.ObjectRef][]tailEvent)
+	for ref := range refs {
+		if t, ok := from.tails[ref]; ok {
+			m.tails[ref] = t
+			delete(from.tails, ref)
+		}
+	}
 	s.router.setEventRoutes(ids, to.idx)
 	to.installCh <- m
 }

@@ -6,6 +6,7 @@ import (
 
 	"cosoft/internal/compat"
 	"cosoft/internal/couple"
+	"cosoft/internal/eventlog"
 	"cosoft/internal/hist"
 	"cosoft/internal/perm"
 	"cosoft/internal/widget"
@@ -141,6 +142,9 @@ func (s *Server) completeCopy(cl *client, seq uint64, from, to couple.ObjectRef,
 			sh := s.shardForRef(to)
 			s.runOnShard(sh, func() {
 				sh.history.Record(hist.Snapshot{Ref: to, State: old, Origin: cl.id, At: s.now()})
+				// The logged CopyTo carries the overwritten state: replaying
+				// it re-records exactly this backup.
+				s.logAppend(eventlog.KindHist, cl.id, stateID(to), wire.CopyTo{To: to, State: old})
 				target, ok := s.clientOf(to.Instance)
 				if !ok {
 					s.reply(cl, seq, fmt.Errorf("server: instance %s disconnected", to.Instance))
@@ -233,6 +237,16 @@ func (s *Server) handleUndoRedo(cl *client, seq uint64, path string, undo bool) 
 					snap, err = sh.history.Undo(ref, current)
 				} else {
 					snap, err = sh.history.Redo(ref, current)
+				}
+				if err == nil {
+					// The logged CopyTo carries the pre-walk current state —
+					// the value the walk pushed on the opposite stack — so
+					// replaying the walk reproduces both stacks.
+					kind := eventlog.KindRedo
+					if undo {
+						kind = eventlog.KindUndo
+					}
+					s.logAppend(kind, cl.id, stateID(ref), wire.CopyTo{To: ref, State: current})
 				}
 				if err != nil {
 					if errors.Is(err, hist.ErrEmpty) {

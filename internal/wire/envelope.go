@@ -1,0 +1,40 @@
+package wire
+
+import "encoding/binary"
+
+// AppendEnvelope appends one envelope in the Batch inner-record layout
+// ([u16 type(|traceFlag)][uvarint seq][uvarint refSeq][trace?][uvarint
+// bodyLen][body]). It is the standalone form of that framing, used wherever a
+// single already-decoded envelope must be persisted or re-framed outside a
+// connection — the durable event log stores exactly these bytes, so a logged
+// record and a batch record share one parser.
+func AppendEnvelope(buf []byte, env Envelope) []byte {
+	t := uint16(env.Msg.MsgType())
+	traced := env.Trace.Trace != 0 || env.Trace.Span != 0
+	if traced {
+		t |= traceFlag
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, t)
+	buf = appendUvarint(buf, env.Seq)
+	buf = appendUvarint(buf, env.RefSeq)
+	if traced {
+		buf = appendUvarint(buf, uint64(env.Trace.Trace))
+		buf = appendUvarint(buf, uint64(env.Trace.Span))
+	}
+	return appendBytes(buf, env.Msg.encode(nil))
+}
+
+// DecodeEnvelope decodes one envelope produced by AppendEnvelope. The buffer
+// must contain exactly one record; trailing bytes are an error, exactly as
+// frame decoding rejects them.
+func DecodeEnvelope(buf []byte) (Envelope, error) {
+	d := &decoder{buf: buf}
+	env, ok := d.innerEnvelope()
+	if !ok {
+		return Envelope{}, d.err
+	}
+	if err := d.done(); err != nil {
+		return Envelope{}, err
+	}
+	return env, nil
+}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"cosoft/internal/attr"
+	"cosoft/internal/couple"
+	"cosoft/internal/obs"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	cases := []Envelope{
+		{Seq: 7, Msg: Register{AppType: "editor", Host: "h", User: "u"}},
+		{Seq: 1, RefSeq: 7, Msg: Registered{ID: "editor-1"}},
+		{Msg: Exec{
+			EventID:    42,
+			TargetPath: "/field",
+			Name:       "changed",
+			Args:       []attr.Value{attr.String("x")},
+			Origin:     couple.ObjectRef{Instance: "editor-1", Path: "/field"},
+		}},
+		{
+			Trace: obs.TraceContext{Trace: 99, Span: 7},
+			Msg:   Couple{From: couple.ObjectRef{Instance: "a", Path: "/x"}, To: couple.ObjectRef{Instance: "b", Path: "/y"}},
+		},
+		{Msg: SessionToken{Token: "deadbeef"}},
+	}
+	for _, env := range cases {
+		buf := AppendEnvelope(nil, env)
+		got, err := DecodeEnvelope(buf)
+		if err != nil {
+			t.Fatalf("decode %T: %v", env.Msg, err)
+		}
+		if !reflect.DeepEqual(got, env) {
+			t.Fatalf("round trip %T:\n got %#v\nwant %#v", env.Msg, got, env)
+		}
+	}
+}
+
+func TestDecodeEnvelopeRejects(t *testing.T) {
+	good := AppendEnvelope(nil, Envelope{Msg: Retract{Path: "/x"}})
+	if _, err := DecodeEnvelope(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated record decoded")
+	}
+	if _, err := DecodeEnvelope(append(good, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// A nested Batch is a connection-only frame, never a standalone record.
+	batch := AppendEnvelope(nil, Envelope{Msg: Retract{Path: "/x"}})
+	batch[0] = byte(TBatch)
+	if _, err := DecodeEnvelope(batch); err == nil {
+		t.Fatal("batch record accepted")
+	}
+}
