@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet verify bench chaos chaos-sharded chaos-restart load-smoke lint-metrics
+.PHONY: all build test race vet verify bench chaos chaos-sharded chaos-restart chaos-compact load-smoke lint-metrics
 
 all: verify
 
@@ -52,6 +52,17 @@ chaos-sharded:
 chaos-restart:
 	$(GO) test -race -run ChaosRestart -count=3 ./internal/server/
 	COSOFT_SHARDS=4 COSOFT_BATCH_LIMIT=8 $(GO) test -race -run ChaosRestart -count=3 ./internal/server/
+
+# Kill-and-restart soak with snapshots + compaction live underneath the
+# traffic: a tight snapshot cadence and tiny segments force continuous
+# snapshot writes and segment deletes while the server is killed repeatedly;
+# afterwards the directory must fsck clean, every client must still work
+# under its original identity, and the segment bytes left on disk must be
+# bounded below everything appended. Runs race-checked, plain and with
+# shards + batching forced.
+chaos-compact:
+	$(GO) test -race -run ChaosCompact -count=3 ./internal/server/
+	COSOFT_SHARDS=4 COSOFT_BATCH_LIMIT=8 $(GO) test -race -run ChaosCompact -count=3 ./internal/server/
 
 # Regenerates BENCH_obs.json (the metrics trajectory) along with the paper
 # benchmarks.

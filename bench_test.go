@@ -773,6 +773,134 @@ func BenchmarkReconnect(b *testing.B) {
 	writeBenchTrajectory(b, "BenchmarkReconnect", reg, stats)
 }
 
+// BenchmarkRestartReplay prices a durable restart over a 50k-event log. The
+// from-zero variant replays every record on each Open+New; the from-snapshot
+// variant restarts the same directory after one snapshot+compaction cycle
+// and must replay zero log records — the snapshot covers the whole log, so
+// startup cost becomes O(state), not O(history). Both append rows to the
+// BENCH_obs.json trajectory; the from-snapshot row's server.log.replayed
+// counter staying at zero is the bounded-replay acceptance gate.
+func BenchmarkRestartReplay(b *testing.B) {
+	const events = 50_000
+	dir := b.TempDir()
+	seedRestartLog(b, dir, events)
+
+	// from-zero runs first: its restarts must see the uncompacted log, and
+	// the from-snapshot prep below compacts the shared directory.
+	b.Run("from-zero", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		var stats cosoft.ServerStats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			elog, err := eventlog.Open(eventlog.Options{Dir: dir, Metrics: reg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := server.New(server.Options{EventLog: elog, ReplayTail: true})
+			stats = srv.Stats()
+			srv.Close()
+			if err := elog.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		counters := reg.Snapshot().Counters
+		replayed := counters["server.log.replayed"]
+		if replayed < uint64(events)*uint64(b.N) {
+			b.Fatalf("from-zero replayed %d records over %d restarts; want >= %d per restart",
+				replayed, b.N, events)
+		}
+		writeBenchTrajectory(b, "BenchmarkRestartReplay/from-zero", reg, stats, map[string]float64{
+			"events":               events,
+			"replayed_per_restart": float64(replayed) / float64(b.N),
+		})
+	})
+
+	b.Run("from-snapshot", func(b *testing.B) {
+		// Prep (untimed): one incarnation snapshots the folded state at the
+		// log's end and compacts the segments behind it.
+		elogPrep, err := eventlog.Open(eventlog.Options{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srvPrep := server.New(server.Options{EventLog: elogPrep, ReplayTail: true})
+		if err := srvPrep.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+		srvPrep.Close()
+		if err := elogPrep.Close(); err != nil {
+			b.Fatal(err)
+		}
+
+		reg := obs.NewRegistry()
+		var stats cosoft.ServerStats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			elog, err := eventlog.Open(eventlog.Options{Dir: dir, Metrics: reg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := server.New(server.Options{EventLog: elog, ReplayTail: true})
+			stats = srv.Stats()
+			srv.Close()
+			if err := elog.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		counters := reg.Snapshot().Counters
+		if got := counters["server.log.replay_from_snapshot"]; got != uint64(b.N) {
+			b.Fatalf("%d of %d restarts replayed from the snapshot", got, b.N)
+		}
+		if replayed := counters["server.log.replayed"]; replayed != 0 {
+			b.Fatalf("from-snapshot restarts replayed %d log records; want 0 (snapshot covers the log)", replayed)
+		}
+		writeBenchTrajectory(b, "BenchmarkRestartReplay/from-snapshot", reg, stats, map[string]float64{
+			"events":               events,
+			"replayed_per_restart": 0,
+		})
+	})
+}
+
+// seedRestartLog writes the fixed restart-replay workload: two registered
+// instances, one coupled object pair, then `events` committed Exec records —
+// the same record shapes a live session appends, without paying for 50k
+// round-trips.
+func seedRestartLog(b *testing.B, dir string, events int) {
+	b.Helper()
+	elog, err := eventlog.Open(eventlog.Options{Dir: dir, Sync: eventlog.SyncNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := func(rec eventlog.Record) {
+		if err := elog.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	refA := couple.ObjectRef{Instance: "app-1", Path: "/x"}
+	refB := couple.ObjectRef{Instance: "app-2", Path: "/x"}
+	for i, id := range []string{"app-1", "app-2"} {
+		app(eventlog.Record{Kind: eventlog.KindRegister, Origin: id, Env: wire.Envelope{
+			Msg: wire.Register{AppType: "app", Host: "bench", User: fmt.Sprintf("u%d", i+1)},
+		}})
+		app(eventlog.Record{Kind: eventlog.KindDeclare, Origin: id, Env: wire.Envelope{
+			Msg: wire.Declare{Path: "/x", Class: "textfield"},
+		}})
+	}
+	app(eventlog.Record{Kind: eventlog.KindCouple, Origin: "app-1", Env: wire.Envelope{
+		Msg: wire.Couple{From: refA, To: refB},
+	}})
+	vals := []attr.Value{attr.String("benchmark payload")}
+	for i := 1; i <= events; i++ {
+		app(eventlog.Record{Kind: eventlog.KindEvent, Origin: "app-1", Env: wire.Envelope{
+			Msg: wire.Exec{EventID: uint64(i), TargetPath: "/x", Name: "changed", Args: vals, Origin: refA},
+		}})
+	}
+	if err := elog.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // gateDisabledTracingAllocs fails the benchmark if any tracing call shape
 // the event path uses allocates when tracing is disabled (nil tracer, nil
 // flight recorder) — the contract that keeps the metrics-off variant

@@ -28,13 +28,18 @@
 //	        [-flight-depth 64] [-log-level info] [-v]
 //	        [-log-dir /var/lib/cosoft/log] [-log-sync interval]
 //	        [-log-segment-bytes 67108864] [-no-replay-tail]
+//	        [-log-snapshot-interval 1m] [-log-snapshot-bytes N]
 //
 // With -log-dir set, every state-mutating hop is appended to a durable
 // segmented event log before it is acknowledged, and a restarted cosoftd
 // replays the log to rebuild its databases — reconnecting clients resume
-// with their logged session tokens as if the restart never happened.
-// cosoftd -log-fsck <dir> scans a log directory offline, reports segment
-// and record counts, and exits nonzero on CRC damage.
+// with their logged session tokens as if the restart never happened. With
+// -log-snapshot-interval and/or -log-snapshot-bytes, cosoftd additionally
+// writes periodic state snapshots beside the log and compacts the segments
+// they cover, so restart replay starts at the newest snapshot and disk
+// stays bounded. cosoftd -log-fsck <dir> scans a log directory offline,
+// reports segment, record and snapshot counts, and exits nonzero on CRC
+// damage.
 package main
 
 import (
@@ -79,6 +84,8 @@ func main() {
 	logDir := flag.String("log-dir", "", "durable event-log directory; appends before acking and replays on start (empty = durability disabled)")
 	logSync := flag.String("log-sync", "interval", "event-log sync policy: always (fsync before every ack), interval, or none")
 	logSegBytes := flag.Int64("log-segment-bytes", 0, "event-log segment rotation size in bytes (0 = 64 MiB)")
+	logSnapInterval := flag.Duration("log-snapshot-interval", 0, "with -log-dir: write a state snapshot and compact covered segments on this cadence (0 = disabled)")
+	logSnapBytes := flag.Int64("log-snapshot-bytes", 0, "with -log-dir: snapshot+compact once this many bytes were appended since the last snapshot (0 = disabled)")
 	logFsck := flag.Bool("log-fsck", false, "scan the -log-dir (or the positional argument) offline, report segment/record counts and CRC damage, and exit — nonzero on corruption")
 	noReplayTail := flag.Bool("no-replay-tail", false, "with -log-dir: do not replay the group event tail to late joiners at couple time")
 	verbose := flag.Bool("v", false, "log registrations and departures")
@@ -148,6 +155,8 @@ func main() {
 		defer elog.Close()
 		opts.EventLog = elog
 		opts.ReplayTail = !*noReplayTail
+		opts.SnapshotInterval = *logSnapInterval
+		opts.SnapshotBytes = *logSnapBytes
 		fmt.Printf("cosoftd: durable event log in %s (sync=%s)\n", *logDir, sync)
 	}
 
@@ -220,6 +229,10 @@ func runFsck(dir string) int {
 	}
 	fmt.Printf("cosoftd: %s: %d segment(s), %d record(s), %d byte(s) valid\n",
 		dir, rep.Segments, rep.Records, rep.Bytes)
+	if rep.Snapshots > 0 || rep.BadSnapshots > 0 {
+		fmt.Printf("cosoftd: %d snapshot(s) (%d damaged); replay starts at offset %d\n",
+			rep.Snapshots, rep.BadSnapshots, rep.SnapshotOffset)
+	}
 	if rep.Corrupt {
 		fmt.Fprintf(os.Stderr, "cosoftd: CORRUPT: %s\n", rep.Detail)
 		return 1

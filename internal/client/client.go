@@ -421,7 +421,7 @@ func (c *Client) supervise() {
 			return
 		}
 		c.slog.Warn("connection lost, reconnecting")
-		next, err := c.redial()
+		next, pre, err := c.redial()
 		if err != nil {
 			c.logf("client %s: reconnect: %v", c.id, err)
 			c.slog.Error("reconnect failed", "error", err.Error())
@@ -431,6 +431,15 @@ func (c *Client) supervise() {
 		c.conn = next
 		c.mu.Unlock()
 		conn = next
+		// Traffic the server flushed around the handshake reply (stashed by
+		// resume) is routed before the read loop takes over, preserving the
+		// server's send order. A routing failure means the fresh connection
+		// already died; the read loop below notices immediately and redials.
+		for _, env := range pre {
+			if !c.handleIncoming(conn, env) {
+				break
+			}
+		}
 		// Resync runs concurrently with the resumed read loop: its RPCs need
 		// the loop to route replies. Safe to Add here: supervise itself holds
 		// the WaitGroup above zero.
@@ -450,33 +459,35 @@ func (c *Client) readConn(conn *wire.Conn) {
 		if err != nil {
 			return
 		}
-		if batch, ok := env.Msg.(wire.Batch); ok {
-			var rest []wire.Envelope
-			for _, inner := range batch.Envelopes {
-				handled, err := c.routeLocal(conn, inner)
-				if err != nil {
-					return
-				}
-				if !handled {
-					rest = append(rest, inner)
-				}
-			}
-			if len(rest) > 0 && !c.inq.push(wire.Envelope{Msg: wire.Batch{Envelopes: rest}}) {
-				return
-			}
-			continue
-		}
-		handled, err := c.routeLocal(conn, env)
-		if err != nil {
-			return
-		}
-		if handled {
-			continue
-		}
-		if !c.inq.push(env) {
+		if !c.handleIncoming(conn, env) {
 			return
 		}
 	}
+}
+
+// handleIncoming routes one received envelope exactly as the read loop
+// does: batches are unpacked with inline-handled records routed one by one,
+// everything else goes to the dispatch queue. It reports false when the
+// connection or the dispatch queue has failed.
+func (c *Client) handleIncoming(conn *wire.Conn, env wire.Envelope) bool {
+	if batch, ok := env.Msg.(wire.Batch); ok {
+		var rest []wire.Envelope
+		for _, inner := range batch.Envelopes {
+			handled, err := c.routeLocal(conn, inner)
+			if err != nil {
+				return false
+			}
+			if !handled {
+				rest = append(rest, inner)
+			}
+		}
+		return len(rest) == 0 || c.inq.push(wire.Envelope{Msg: wire.Batch{Envelopes: rest}})
+	}
+	handled, err := c.routeLocal(conn, env)
+	if err != nil {
+		return false
+	}
+	return handled || c.inq.push(env)
 }
 
 // routeLocal handles the message kinds the read loop consumes inline,

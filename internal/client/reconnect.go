@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"cosoft/internal/wire"
@@ -96,8 +97,9 @@ func (r *ReconnectOptions) jitterSeeds() (uint64, uint64) {
 }
 
 // redial dials and resumes the session with full-jitter exponential
-// backoff. It runs on the supervise goroutine.
-func (c *Client) redial() (*wire.Conn, error) {
+// backoff, returning the fresh connection plus any envelopes the server
+// flushed around the handshake reply. It runs on the supervise goroutine.
+func (c *Client) redial() (*wire.Conn, []wire.Envelope, error) {
 	r := c.opts.Reconnect
 	rng := rand.New(rand.NewPCG(r.jitterSeeds()))
 	var lastErr error
@@ -106,7 +108,7 @@ func (c *Client) redial() (*wire.Conn, error) {
 			select {
 			case <-time.After(r.backoffDelay(rng, attempt)):
 			case <-c.done:
-				return nil, ErrClosed
+				return nil, nil, ErrClosed
 			}
 		}
 		raw, err := r.Dial()
@@ -114,24 +116,34 @@ func (c *Client) redial() (*wire.Conn, error) {
 			lastErr = err
 			continue
 		}
-		conn, err := c.resume(raw)
+		conn, pre, err := c.resume(raw)
 		if err == nil {
-			return conn, nil
+			return conn, pre, nil
 		}
 		if pe, ok := err.(*permanentError); ok {
-			return nil, pe
+			return nil, nil, pe
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("client: reconnect gave up after %d attempts: %w",
+	return nil, nil, fmt.Errorf("client: reconnect gave up after %d attempts: %w",
 		r.maxAttempts(), lastErr)
 }
 
 // resume performs the Resume handshake on a fresh connection, reclaiming
 // the client's instance ID. The reply wait cannot rely on connection
-// deadlines (in-process transports lack them), so it reads on a goroutine
-// and closes the connection to abandon it.
-func (c *Client) resume(raw net.Conn) (*wire.Conn, error) {
+// deadlines (in-process transports lack them), so a watchdog closes the
+// connection to abandon a stalled handshake.
+//
+// The resumed instance is already a member of its coupling groups, so the
+// server can start flushing group traffic the moment it admits the session:
+// the Registered reply may arrive packed in a Batch with notifications or
+// replayed events, or even after them when a shard loop's broadcast wins
+// the race with the admitting state loop. Every envelope that is not the
+// reply is stashed and returned for the read loop to route once the resume
+// is accepted — abandoning the connection here would orphan a session whose
+// single-use token the admission already consumed, permanently stranding
+// the client.
+func (c *Client) resume(raw net.Conn) (*wire.Conn, []wire.Envelope, error) {
 	conn := wire.NewConn(raw)
 	if c.tr != nil {
 		conn.EnableTrace()
@@ -144,46 +156,57 @@ func (c *Client) resume(raw net.Conn) (*wire.Conn, error) {
 	c.mu.Unlock()
 	if err := conn.Write(wire.Envelope{Seq: 1, Msg: wire.Resume{Token: tok}}); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, nil, err
 	}
-	type result struct {
-		env wire.Envelope
-		err error
-	}
-	ch := make(chan result, 1)
-	go func() {
-		env, err := conn.Read()
-		ch <- result{env, err}
-	}()
-	timer := time.NewTimer(c.opts.RPCTimeout)
+	var timedOut, closing atomic.Bool
+	timer := time.AfterFunc(c.opts.RPCTimeout, func() {
+		timedOut.Store(true)
+		conn.Close()
+	})
 	defer timer.Stop()
-	select {
-	case r := <-ch:
-		if r.err != nil {
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-c.done:
+			closing.Store(true)
 			conn.Close()
-			return nil, r.err
+		case <-watchDone:
 		}
-		switch m := r.env.Msg.(type) {
-		case wire.Registered:
-			if m.ID != c.id {
-				conn.Close()
-				return nil, &permanentError{fmt.Sprintf(
-					"client: resume returned foreign ID %s (have %s)", m.ID, c.id)}
+	}()
+	var pre []wire.Envelope
+	for {
+		env, err := conn.Read()
+		if err != nil {
+			conn.Close()
+			if closing.Load() {
+				return nil, nil, ErrClosed
 			}
-			return conn, nil
-		case wire.Err:
-			conn.Close()
-			return nil, &permanentError{"client: resume refused: " + m.Text}
-		default:
-			conn.Close()
-			return nil, fmt.Errorf("client: unexpected resume reply %s", r.env.Msg.MsgType())
+			if timedOut.Load() {
+				return nil, nil, fmt.Errorf("%w: resume handshake", ErrTimeout)
+			}
+			return nil, nil, err
 		}
-	case <-timer.C:
-		conn.Close()
-		return nil, fmt.Errorf("%w: resume handshake", ErrTimeout)
-	case <-c.done:
-		conn.Close()
-		return nil, ErrClosed
+		envs := []wire.Envelope{env}
+		if b, ok := env.Msg.(wire.Batch); ok {
+			envs = b.Envelopes
+		}
+		for i, e := range envs {
+			switch m := e.Msg.(type) {
+			case wire.Registered:
+				if m.ID != c.id {
+					conn.Close()
+					return nil, nil, &permanentError{fmt.Sprintf(
+						"client: resume returned foreign ID %s (have %s)", m.ID, c.id)}
+				}
+				return conn, append(pre, envs[i+1:]...), nil
+			case wire.Err:
+				conn.Close()
+				return nil, nil, &permanentError{"client: resume refused: " + m.Text}
+			default:
+				pre = append(pre, e)
+			}
+		}
 	}
 }
 

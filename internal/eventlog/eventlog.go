@@ -178,6 +178,13 @@ type Log struct {
 	mu     sync.Mutex
 	closed bool
 
+	// In-flight snapshot/compaction ops; Close waits for them so a
+	// half-written .snap.tmp never outlives the log handle.
+	snapWG sync.WaitGroup
+	// snapMu serializes WriteSnapshot/Compact/Snapshots against each other
+	// (they share the snapshot file namespace; appends are unaffected).
+	snapMu sync.Mutex
+
 	// Writer-goroutine state.
 	file    *os.File
 	segBase int64 // byte offset of the current segment's first record
@@ -193,12 +200,24 @@ type Log struct {
 	crashPartial int
 	crashOps     int
 	crashed      bool
+	// Snapshot-path fault injection: a separate boundary counter over
+	// snapshot/compaction I/O (SnapCrashPoint) so the append sweep's
+	// numbering stays deterministic; firing sets the shared crashed flag.
+	snapCrashAt      int
+	snapCrashPartial int
+	snapCrashOps     int
+	snapCrashFired   bool
+	snapGate         <-chan struct{}
 
-	mAppends   *obs.Counter // server.log.appends: records appended
-	mBytes     *obs.Counter // server.log.bytes: record bytes written (incl. framing)
-	mFsyncs    *obs.Counter // server.log.fsyncs: fsync calls issued
-	mReplayed  *obs.Counter // server.log.replayed: records decoded by Replay
-	mTruncated *obs.Counter // server.log.truncated_tail: torn tails discarded on open
+	mAppends    *obs.Counter // server.log.appends: records appended
+	mBytes      *obs.Counter // server.log.bytes: record bytes written (incl. framing)
+	mFsyncs     *obs.Counter // server.log.fsyncs: fsync calls issued
+	mReplayed   *obs.Counter // server.log.replayed: records decoded by Replay
+	mTruncated  *obs.Counter // server.log.truncated_tail: torn tails discarded on open
+	mSnapshots  *obs.Counter // server.log.snapshots: snapshots durably written
+	mSnapBytes  *obs.Counter // server.log.snapshot_bytes: snapshot payload bytes written
+	mCompacted  *obs.Counter // server.log.compacted_segments: segments deleted by Compact
+	mReplaySnap *obs.Counter // server.log.replay_from_snapshot: opens that found a valid snapshot
 }
 
 // Open opens (creating if needed) the log directory, recovers the tail —
@@ -219,15 +238,19 @@ func Open(opts Options) (*Log, error) {
 	}
 	metrics := obs.Or(opts.Metrics)
 	l := &Log{
-		opts:       opts,
-		dir:        opts.Dir,
-		appendCh:   make(chan pending, 256),
-		quit:       make(chan struct{}),
-		mAppends:   metrics.Counter("server.log.appends"),
-		mBytes:     metrics.Counter("server.log.bytes"),
-		mFsyncs:    metrics.Counter("server.log.fsyncs"),
-		mReplayed:  metrics.Counter("server.log.replayed"),
-		mTruncated: metrics.Counter("server.log.truncated_tail"),
+		opts:        opts,
+		dir:         opts.Dir,
+		appendCh:    make(chan pending, 256),
+		quit:        make(chan struct{}),
+		mAppends:    metrics.Counter("server.log.appends"),
+		mBytes:      metrics.Counter("server.log.bytes"),
+		mFsyncs:     metrics.Counter("server.log.fsyncs"),
+		mReplayed:   metrics.Counter("server.log.replayed"),
+		mTruncated:  metrics.Counter("server.log.truncated_tail"),
+		mSnapshots:  metrics.Counter("server.log.snapshots"),
+		mSnapBytes:  metrics.Counter("server.log.snapshot_bytes"),
+		mCompacted:  metrics.Counter("server.log.compacted_segments"),
+		mReplaySnap: metrics.Counter("server.log.replay_from_snapshot"),
 	}
 	if err := l.recover(); err != nil {
 		return nil, err
@@ -265,13 +288,39 @@ func segPath(dir string, base int64) string {
 
 // recover scans the existing segments, truncates a torn tail in the last
 // one, and opens the last segment (or a fresh first segment) for append.
+// Snapshot-aware: half-written snapshot temp files are swept, a snap-only
+// directory resumes appending at the snapshot's offset, and a directory
+// compacted past its snapshot coverage is refused rather than silently
+// replayed with a hole.
 func (l *Log) recover() error {
+	if err := removeSnapTmp(l.dir); err != nil {
+		return err
+	}
+	snaps, _, err := snapshotInfos(l.dir)
+	if err != nil {
+		return err
+	}
+	snapOff := int64(-1)
+	if len(snaps) > 0 {
+		snapOff = snaps[0].Offset
+		l.mReplaySnap.Inc()
+	}
 	bases, err := segments(l.dir)
 	if err != nil {
 		return err
 	}
 	if len(bases) == 0 {
-		return l.openSegment(0)
+		base := int64(0)
+		if snapOff >= 0 {
+			// Snap-only directory (everything below the snapshot compacted
+			// away): appends resume at the covered offset so segment names
+			// stay global byte offsets.
+			base = snapOff
+		}
+		return l.openSegment(base)
+	}
+	if bases[0] > 0 && snapOff < bases[0] {
+		return fmt.Errorf("eventlog: segments begin at offset %d with no snapshot covering the compacted prefix", bases[0])
 	}
 	// Damage in a non-final segment is corruption, not a torn tail: the log
 	// only ever appends to the last segment, so refuse rather than silently
@@ -670,6 +719,9 @@ func (l *Log) Close() error {
 	l.mu.Unlock()
 	close(l.quit)
 	l.wg.Wait()
+	// An in-flight snapshot writer observes quit and abandons (removing its
+	// temp file); wait so no .snap.tmp outlives the handle.
+	l.snapWG.Wait()
 	if l.file != nil {
 		return l.file.Close()
 	}
@@ -681,6 +733,14 @@ type FsckReport struct {
 	Segments int
 	Records  int
 	Bytes    int64
+	// Snapshots counts valid snapshot files; BadSnapshots counts torn or
+	// CRC-damaged ones (not corruption by themselves as long as replay can
+	// still reach the acked state some other way).
+	Snapshots    int
+	BadSnapshots int
+	// SnapshotOffset is the newest valid snapshot's byte offset — where
+	// restart replay begins — or -1 when no snapshot exists.
+	SnapshotOffset int64
 	// TornTail is set when the final segment ends in an incomplete or
 	// CRC-damaged record with nothing but garbage behind it — the expected
 	// signature of a crash mid-write.
@@ -695,21 +755,54 @@ type FsckReport struct {
 	Detail string
 }
 
-// Fsck scans a log directory without modifying it, counting segments and
-// valid records and classifying any CRC damage.
+// Fsck scans a log directory without modifying it, counting segments, valid
+// records and snapshots, classifying any CRC damage, and validating the
+// snapshot chain: segments must be contiguous, and a directory whose
+// segments start past offset zero (compaction ran) must hold a valid
+// snapshot covering the deleted prefix. A directory with only a snapshot
+// and no segments is clean; a torn snapshot is clean as long as replay can
+// still reach the acked state (an older snapshot or a full segment chain).
 func Fsck(dir string) (FsckReport, error) {
-	var rep FsckReport
+	rep := FsckReport{SnapshotOffset: -1}
+	validSnaps, badSnaps, err := snapshotInfos(dir)
+	if err != nil {
+		return rep, err
+	}
+	rep.Snapshots = len(validSnaps)
+	rep.BadSnapshots = len(badSnaps)
+	if len(validSnaps) > 0 {
+		rep.SnapshotOffset = validSnaps[0].Offset
+	}
 	bases, err := segments(dir)
 	if err != nil {
 		return rep, err
 	}
 	rep.Segments = len(bases)
+	if len(bases) == 0 {
+		if len(validSnaps) == 0 && len(badSnaps) > 0 {
+			rep.Corrupt = true
+			rep.Detail = fmt.Sprintf("%d snapshot file(s) unreadable with no segments to replay", len(badSnaps))
+		}
+		return rep, nil
+	}
+	if bases[0] > 0 && (len(validSnaps) == 0 || validSnaps[0].Offset < bases[0]) {
+		rep.Corrupt = true
+		rep.Detail = fmt.Sprintf("segments begin at offset %d with no snapshot covering the compacted prefix", bases[0])
+		return rep, nil
+	}
+	prevEnd := bases[0]
 	for i, base := range bases {
+		if base != prevEnd {
+			rep.Corrupt = true
+			rep.Detail = fmt.Sprintf("segment %016x does not begin where the previous segment ends (offset %d) — gap in the chain", base, prevEnd)
+			return rep, nil
+		}
 		path := segPath(dir, base)
 		valid, total, err := scanSegment(path)
 		if err != nil {
 			return rep, err
 		}
+		prevEnd = base + total
 		n, err := countRecords(path, valid)
 		if err != nil {
 			return rep, err
@@ -734,6 +827,9 @@ func Fsck(dir string) (FsckReport, error) {
 			rep.TornTail = true
 			rep.Detail = fmt.Sprintf("segment %016x: torn tail at offset %d (%d trailing bytes)", base, valid, total-valid)
 		}
+	}
+	if len(badSnaps) > 0 && rep.Detail == "" {
+		rep.Detail = fmt.Sprintf("%d snapshot file(s) unreadable (replay falls back to an older snapshot or offset zero)", len(badSnaps))
 	}
 	return rep, nil
 }

@@ -78,6 +78,24 @@ func (d *DB) Record(s Snapshot) {
 	e.redo = nil
 }
 
+// Restore installs ref's undo and redo stacks verbatim (oldest first) when
+// rebuilding the database from a snapshot. Unlike Record it neither clears
+// the redo stack nor evicts — the stacks were bounded when captured.
+func (d *DB) Restore(ref couple.ObjectRef, undo, redo []Snapshot) {
+	if len(undo) == 0 && len(redo) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.objects[ref]
+	if e == nil {
+		e = &entry{}
+		d.objects[ref] = e
+	}
+	e.undo = append([]Snapshot(nil), undo...)
+	e.redo = append([]Snapshot(nil), redo...)
+}
+
 // Instrument counts depth-bound evictions — the oldest undo snapshot
 // silently dropped when an object's history exceeds the depth bound — in c.
 func (d *DB) Instrument(c *obs.Counter) {

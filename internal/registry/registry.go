@@ -84,6 +84,24 @@ func (s *Store) RestoreSeq(id couple.InstanceID) {
 	}
 }
 
+// Seq returns the ID allocator's current sequence number (for snapshots).
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq
+}
+
+// SetSeq advances the ID allocator to at least n when installing a
+// snapshot. Advance-only: the allocator never moves backwards, so a
+// snapshot can only widen the range of IDs considered spent.
+func (s *Store) SetSeq(n uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.nextSeq {
+		s.nextSeq = n
+	}
+}
+
 // Register inserts a record. The record's ID must be set and unused.
 func (s *Store) Register(r Record) error {
 	if r.ID == "" {

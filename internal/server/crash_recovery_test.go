@@ -148,8 +148,8 @@ func (r *crashRig) dispatchTo(origin, val string, peers ...string) {
 // record count R maps back to the op prefix ops[0:R].
 func crashOps() []func(r *crashRig) {
 	return []func(r *crashRig){
-		func(r *crashRig) { r.dial("A", "u1") }, // Register
-		func(r *crashRig) { r.dial("B", "u2") }, // Register
+		func(r *crashRig) { r.dial("A", "u1") },                 // Register
+		func(r *crashRig) { r.dial("B", "u2") },                 // Register
 		func(r *crashRig) { r.mustOK(r.cl["A"].Declare("/x")) }, // Declare
 		func(r *crashRig) { r.mustOK(r.cl["B"].Declare("/x")) }, // Declare
 		func(r *crashRig) { // Couple
@@ -162,9 +162,9 @@ func crashOps() []func(r *crashRig) {
 		func(r *crashRig) { // Hist (CopyTo backs up B's state)
 			r.mustOK(r.cl["A"].CopyTo("/x", r.cl["B"].Ref("/x"), false))
 		},
-		func(r *crashRig) { r.mustOK(r.cl["B"].Undo("/x")) }, // Undo
-		func(r *crashRig) { r.mustOK(r.cl["B"].Redo("/x")) }, // Redo
-		func(r *crashRig) { r.dial("C", "u3") }, // Register
+		func(r *crashRig) { r.mustOK(r.cl["B"].Undo("/x")) },    // Undo
+		func(r *crashRig) { r.mustOK(r.cl["B"].Redo("/x")) },    // Redo
+		func(r *crashRig) { r.dial("C", "u3") },                 // Register
 		func(r *crashRig) { r.mustOK(r.cl["C"].Declare("/x")) }, // Declare
 		func(r *crashRig) { // Couple (second group merge; migrates when sharded)
 			r.mustOK(r.cl["C"].Couple("/x", r.cl["A"].Ref("/x")))
@@ -183,6 +183,56 @@ func crashOps() []func(r *crashRig) {
 	}
 }
 
+// renderGlobalState writes the digest lines for the global databases:
+// registration records with declared objects, couple links, permission
+// rules. It reads the databases directly — crashDigest posts it onto the
+// live global loop; foldDigest (snapshot_recovery_test.go) calls it on
+// loop-less fold replicas.
+func renderGlobalState(b *strings.Builder, s *Server) {
+	ids := s.reg.Instances()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec, err := s.reg.Lookup(id)
+		if err != nil {
+			continue
+		}
+		paths := make([]string, 0, len(rec.Objects))
+		for p := range rec.Objects {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		fmt.Fprintf(b, "inst %s type=%s host=%s user=%s objs=[", rec.ID, rec.AppType, rec.Host, rec.User)
+		for _, p := range paths {
+			fmt.Fprintf(b, " %s:%s", p, rec.Objects[p])
+		}
+		fmt.Fprint(b, " ]\n")
+	}
+	for _, l := range s.graph.Links() {
+		fmt.Fprintf(b, "link %s by %s\n", l, l.Creator)
+	}
+	for _, rule := range s.perms.Rules() {
+		fmt.Fprintf(b, "perm %s\n", rule)
+	}
+}
+
+// renderShardState writes the digest lines for one shard: its event-ID
+// sequence and history stacks.
+func renderShardState(b *strings.Builder, i int, sh *shard) {
+	fmt.Fprintf(b, "shard %d seq=%d\n", i, sh.seq)
+	for _, ref := range sh.history.Refs() {
+		undo, redo := sh.history.Stacks(ref)
+		fmt.Fprintf(b, "hist %s undo=%s redo=%s\n", ref, renderHistStack(undo), renderHistStack(redo))
+	}
+}
+
+func renderHistStack(list []hist.Snapshot) string {
+	var sb strings.Builder
+	for _, sn := range list {
+		fmt.Fprintf(&sb, "{%s|%v|%s}", sn.Ref, sn.State, sn.Origin) // At excluded: wall clock
+	}
+	return sb.String()
+}
+
 // crashDigest renders the replayable server databases — registration records
 // with declared objects, couple links, permission rules, per-shard event
 // sequences and history stacks — into a canonical string. Everything
@@ -194,49 +244,15 @@ func crashDigest(s *Server) string {
 	done := make(chan struct{})
 	s.post(func() {
 		defer close(done)
-		ids := s.reg.Instances()
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			rec, err := s.reg.Lookup(id)
-			if err != nil {
-				continue
-			}
-			paths := make([]string, 0, len(rec.Objects))
-			for p := range rec.Objects {
-				paths = append(paths, p)
-			}
-			sort.Strings(paths)
-			fmt.Fprintf(&b, "inst %s type=%s host=%s user=%s objs=[", rec.ID, rec.AppType, rec.Host, rec.User)
-			for _, p := range paths {
-				fmt.Fprintf(&b, " %s:%s", p, rec.Objects[p])
-			}
-			fmt.Fprint(&b, " ]\n")
-		}
-		for _, l := range s.graph.Links() {
-			fmt.Fprintf(&b, "link %s by %s\n", l, l.Creator)
-		}
-		for _, rule := range s.perms.Rules() {
-			fmt.Fprintf(&b, "perm %s\n", rule)
-		}
+		renderGlobalState(&b, s)
 	})
 	<-done
-	snaps := func(list []hist.Snapshot) string {
-		var sb strings.Builder
-		for _, sn := range list {
-			fmt.Fprintf(&sb, "{%s|%v|%s}", sn.Ref, sn.State, sn.Origin) // At excluded: wall clock
-		}
-		return sb.String()
-	}
 	for i, sh := range s.shards {
 		i, sh := i, sh
 		done := make(chan struct{})
 		s.postShard(sh, func() {
 			defer close(done)
-			fmt.Fprintf(&b, "shard %d seq=%d\n", i, sh.seq)
-			for _, ref := range sh.history.Refs() {
-				undo, redo := sh.history.Stacks(ref)
-				fmt.Fprintf(&b, "hist %s undo=%s redo=%s\n", ref, snaps(undo), snaps(redo))
-			}
+			renderShardState(&b, i, sh)
 		})
 		<-done
 	}

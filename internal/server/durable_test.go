@@ -27,9 +27,11 @@ import (
 // Dial targets whichever incarnation is current, so reconnecting clients
 // ride through a restart.
 type durableServer struct {
-	t    *testing.T
-	dir  string
-	opts server.Options
+	t       *testing.T
+	dir     string
+	opts    server.Options
+	logOpts eventlog.Options
+	inc     int
 
 	mu   sync.Mutex
 	srv  *server.Server
@@ -38,6 +40,12 @@ type durableServer struct {
 }
 
 func newDurableServer(t *testing.T, opts server.Options) *durableServer {
+	return newDurableLogServer(t, opts, eventlog.Options{Sync: eventlog.SyncAlways})
+}
+
+// newDurableLogServer is newDurableServer with explicit event-log options
+// (segment size, metrics sink, sync policy) that every incarnation reuses.
+func newDurableLogServer(t *testing.T, opts server.Options, logOpts eventlog.Options) *durableServer {
 	t.Helper()
 	if opts.Shards == 0 {
 		opts.Shards = envShards
@@ -46,7 +54,7 @@ func newDurableServer(t *testing.T, opts server.Options) *durableServer {
 		opts.BatchLimit = envBatchLimit
 	}
 	opts.ReplayTail = true
-	d := &durableServer{t: t, dir: t.TempDir(), opts: opts}
+	d := &durableServer{t: t, dir: t.TempDir(), opts: opts, logOpts: logOpts}
 	d.start()
 	t.Cleanup(func() {
 		d.stop()
@@ -57,13 +65,19 @@ func newDurableServer(t *testing.T, opts server.Options) *durableServer {
 
 func (d *durableServer) start() {
 	d.t.Helper()
-	elog, err := eventlog.Open(eventlog.Options{Dir: d.dir, Sync: eventlog.SyncAlways})
+	logOpts := d.logOpts
+	logOpts.Dir = d.dir
+	elog, err := eventlog.Open(logOpts)
 	if err != nil {
 		d.t.Fatalf("open event log: %v", err)
 	}
 	opts := d.opts
 	opts.EventLog = elog
 	d.mu.Lock()
+	d.inc++
+	if opts.Logger != nil {
+		opts.Logger = opts.Logger.With("inc", d.inc)
+	}
 	d.srv = server.New(opts)
 	d.elog = elog
 	d.mu.Unlock()

@@ -45,6 +45,17 @@ var envShards = func() int {
 // also exercises the append-before-ack path.
 var envLogDir = os.Getenv("COSOFT_LOG_DIR")
 
+// envSnapshotBytes lets CI soak the whole suite with snapshotting and
+// compaction on: when COSOFT_SNAPSHOT_BYTES=<n> is set alongside
+// COSOFT_LOG_DIR, every harness log rotates segments at n bytes and its
+// server snapshots + compacts on the same byte cadence, so every
+// integration and chaos scenario runs against a log that is continuously
+// snapshotted and compacted underneath it.
+var envSnapshotBytes = func() int64 {
+	n, _ := strconv.ParseInt(os.Getenv("COSOFT_SNAPSHOT_BYTES"), 10, 64)
+	return n
+}()
+
 // harness runs one server and dials clients over in-process links.
 type harness struct {
 	t   *testing.T
@@ -65,7 +76,7 @@ func newHarness(t *testing.T, opts server.Options) *harness {
 		if err != nil {
 			t.Fatalf("log dir under COSOFT_LOG_DIR: %v", err)
 		}
-		elog, err := eventlog.Open(eventlog.Options{Dir: dir})
+		elog, err := eventlog.Open(eventlog.Options{Dir: dir, SegmentBytes: envSnapshotBytes})
 		if err != nil {
 			t.Fatalf("open event log: %v", err)
 		}
@@ -76,6 +87,12 @@ func newHarness(t *testing.T, opts server.Options) *harness {
 			os.RemoveAll(dir)
 		})
 		opts.EventLog = elog
+		if envSnapshotBytes > 0 {
+			opts.SnapshotBytes = envSnapshotBytes
+			if opts.SnapshotInterval == 0 {
+				opts.SnapshotInterval = 20 * time.Millisecond
+			}
+		}
 	}
 	h := &harness{t: t, srv: server.New(opts)}
 	t.Cleanup(func() {

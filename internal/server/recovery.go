@@ -53,21 +53,48 @@ func (s *Server) logAppend(kind eventlog.Kind, origin couple.InstanceID, group s
 
 // replayLog rebuilds the server databases from the durable log. It runs in
 // New before any loop goroutine starts, so every mutation below touches the
-// freshly built shards single-threaded. Individually damaged or stale
-// records are skipped with a warning; replay never aborts recovery.
+// freshly built shards single-threaded. Replay starts from the newest
+// decodable snapshot when one exists (reading only post-snapshot bytes),
+// falling back to older snapshots and finally to offset zero. Individually
+// damaged or stale records are skipped with a warning; replay never aborts
+// recovery.
 func (s *Server) replayLog() {
+	from := int64(0)
+	usedSnap := false
+	if snaps, err := s.elog.Snapshots(); err != nil {
+		s.slog.Warn("snapshot scan failed; replaying from offset zero", "err", err)
+	} else {
+		for _, ref := range snaps {
+			st, derr := decodeState(ref.Payload)
+			if derr != nil {
+				s.slog.Warn("snapshot undecodable; falling back",
+					"offset", ref.Offset, "err", derr)
+				continue
+			}
+			s.installState(st)
+			from = ref.Offset
+			usedSnap = true
+			break
+		}
+	}
 	n := 0
-	err := s.elog.Replay(func(rec eventlog.Record) error {
+	apply := func(rec eventlog.Record) error {
 		s.replayRecord(rec)
 		n++
 		return nil
-	})
+	}
+	var err error
+	if usedSnap {
+		_, err = s.elog.ReplayFrom(from, apply)
+	} else {
+		err = s.elog.Replay(apply)
+	}
 	if err != nil {
 		s.slog.Warn("event log replay stopped early", "records", n, "err", err)
 	}
-	if n > 0 {
-		s.slog.Info("event log replayed",
-			"records", n, "instances", s.reg.Len(), "links", s.graph.Len())
+	if n > 0 || usedSnap {
+		s.slog.Info("event log replayed", "records", n, "snapshot_offset", from,
+			"instances", s.reg.Len(), "links", s.graph.Len())
 	}
 }
 

@@ -107,6 +107,18 @@ type Options struct {
 	// couple time through the ordinary Exec dispatch path, instead of the
 	// joiner pulling CopyFrom state from a live peer.
 	ReplayTail bool
+	// SnapshotInterval is the cadence of the snapshot goroutine: every
+	// interval it folds the log's new records into an offline replica,
+	// writes a durable state snapshot at the covered offset, and compacts
+	// segments wholly older than a retained snapshot — so restart replay
+	// and disk use stay bounded no matter how long the server lives. Zero
+	// (with SnapshotBytes also zero) disables periodic snapshots; Snapshot
+	// can still force one.
+	SnapshotInterval time.Duration
+	// SnapshotBytes additionally triggers a snapshot once that many new log
+	// bytes accumulated since the last one (checked on a short poll), so a
+	// write-heavy server snapshots by volume rather than wall clock.
+	SnapshotBytes int64
 	// Metrics receives the server's counters, gauges and latency
 	// histograms. Nil means a private enabled registry (so Stats keeps
 	// working); pass obs.Disabled to remove all measurement cost.
@@ -123,6 +135,11 @@ type Options struct {
 	Logger *slog.Logger
 	// Logf receives diagnostic output; nil disables logging.
 	Logf func(format string, args ...any)
+
+	// foldReplica marks the snapshotter's offline fold server: it must not
+	// touch process-global instrumentation (the shared wire body pool) that
+	// the live server owns.
+	foldReplica bool
 }
 
 // Server is the central coupling server.
@@ -149,6 +166,9 @@ type Server struct {
 	// block the calling loop until the record reaches the configured
 	// durability, so an acked transition is always replayable.
 	elog *eventlog.Log
+	// snap folds the log into an offline replica and writes periodic state
+	// snapshots + compacts old segments (nil when durability is off).
+	snap *snapshotter
 
 	reqs chan func()
 	quit chan struct{}
@@ -325,6 +345,39 @@ type sessionRec struct {
 
 // New returns a started server. Call Close to stop it.
 func New(opts Options) *Server {
+	s := newServer(opts)
+	if opts.EventLog != nil {
+		// Replay the durable log before any loop goroutine starts: every
+		// database mutation below runs single-threaded against the freshly
+		// built shards, so recovery needs no posting or locking discipline.
+		s.elog = opts.EventLog
+		s.replayLog()
+		s.snap = newSnapshotter(s)
+	}
+	s.wg.Add(1)
+	go s.loop()
+	if s.sharded {
+		for _, sh := range s.shards {
+			s.wg.Add(1)
+			go s.shardLoop(sh)
+		}
+	}
+	if period := s.sweepPeriod(); period > 0 {
+		s.wg.Add(1)
+		go s.sweeper(period)
+	}
+	if s.snap != nil && (opts.SnapshotInterval > 0 || opts.SnapshotBytes > 0) {
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
+	return s
+}
+
+// newServer builds a stopped server: databases, shards and metric handles
+// only — no goroutines, no replay. The snapshot fold replica is built
+// through this same constructor, so snapshot state and live replay state
+// agree by construction.
+func newServer(opts Options) *Server {
 	if opts.Classes == nil {
 		opts.Classes = widget.NewClassRegistry()
 	}
@@ -394,7 +447,9 @@ func New(opts Options) *Server {
 			Label:    "member",
 		})
 	}
-	wire.InstrumentBodyPool(s.mPoolHits, s.mPoolMisses)
+	if !opts.foldReplica {
+		wire.InstrumentBodyPool(s.mPoolHits, s.mPoolMisses)
+	}
 	// Every shard's lock table shares the same metric handles, so the
 	// lock.* counters stay aggregate regardless of shard count.
 	lockFails := metrics.Counter("lock.group_failures")
@@ -426,25 +481,6 @@ func New(opts Options) *Server {
 		s.router = &router{n: nshards, obj: make(map[couple.ObjectRef]int), ev: make(map[uint64]int)}
 	}
 	s.mShards.Set(int64(nshards))
-	if opts.EventLog != nil {
-		// Replay the durable log before any loop goroutine starts: every
-		// database mutation below runs single-threaded against the freshly
-		// built shards, so recovery needs no posting or locking discipline.
-		s.elog = opts.EventLog
-		s.replayLog()
-	}
-	s.wg.Add(1)
-	go s.loop()
-	if s.sharded {
-		for _, sh := range s.shards {
-			s.wg.Add(1)
-			go s.shardLoop(sh)
-		}
-	}
-	if period := s.sweepPeriod(); period > 0 {
-		s.wg.Add(1)
-		go s.sweeper(period)
-	}
 	return s
 }
 
